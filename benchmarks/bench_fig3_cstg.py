@@ -1,0 +1,58 @@
+"""Figure 3 — the CSTG of the keyword counting example with profile
+annotations (Markov model): allocatable states drawn double, solid task
+transitions labelled <time, probability>, dashed new-object edges labelled
+with expected object counts."""
+
+from conftest import emit
+from repro.analysis.astate import AState
+from repro.bench import load_benchmark
+from repro.core import annotated_cstg, profile_program
+from repro.viz import cstg_to_dot
+
+
+def build_fig3():
+    compiled = load_benchmark("Keyword")
+    # The paper's Figure 3 profile created 4 Text sections.
+    profile = profile_program(compiled, ["4"])
+    cstg = annotated_cstg(compiled, profile)
+    return compiled, profile, cstg
+
+
+def test_fig3_cstg(benchmark):
+    compiled, profile, cstg = benchmark.pedantic(
+        build_fig3, iterations=1, rounds=1
+    )
+
+    emit(
+        "Figure 3: CSTG for the keyword counting example",
+        cstg.format() + "\n\nDOT:\n" + cstg_to_dot(cstg, "fig3-keyword-cstg"),
+        artifact="fig3_cstg.txt",
+    )
+
+    # -- shape assertions mirroring the paper's figure ------------------------
+    # Text is allocated in {process} and transitions process -> submit -> {}.
+    process = cstg.node(("Text", AState.make(["process"])))
+    assert process.alloc_sites, "Text must be allocatable in {process}"
+    transitions = {
+        (e.src, e.dst): e for e in cstg.transitions_of_task("processText")
+    }
+    assert (
+        ("Text", AState.make(["process"])),
+        ("Text", AState.make(["submit"])),
+    ) in transitions
+
+    # The startup task's new-object edge carries the expected count 4
+    # (Figure 3 labels the Text edge with 4).
+    text_edges = [
+        e for e in cstg.new_edges_of_task("startup") if e.dst[0] == "Text"
+    ]
+    assert len(text_edges) == 1 and text_edges[0].avg_count == 4.0
+
+    # mergeIntermediateResult's two exits split 75%/25% in the paper; with 4
+    # sections our merge takes the continue exit 3 times and finishes once.
+    merge_probs = sorted(
+        e.probability
+        for e in cstg.transitions_of_task("mergeIntermediateResult")
+        if e.src[0] == "Results"
+    )
+    assert merge_probs == [0.25, 0.75]

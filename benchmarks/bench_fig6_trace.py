@@ -1,0 +1,61 @@
+"""Figure 6 — the simulated execution trace of the keyword counting example
+on a quad-core layout (Figure 4's layout), with the critical path marked."""
+
+from conftest import emit
+from repro.bench import load_benchmark
+from repro.core import profile_program
+from repro.schedule.critpath import compute_critical_path
+from repro.schedule.layout import Layout
+from repro.schedule.simulator import estimate_layout
+from repro.viz import render_critical_path, render_trace, trace_to_dot
+
+
+def figure4_layout(compiled):
+    """The paper's Figure 4 quad-core layout: every task on core 0, and
+    processText replicated across all four cores."""
+    mapping = {task: [0] for task in compiled.info.tasks}
+    mapping["processText"] = [0, 1, 2, 3]
+    return Layout.make(4, mapping)
+
+
+def build_fig6():
+    compiled = load_benchmark("Keyword")
+    profile = profile_program(compiled, ["4"])
+    layout = figure4_layout(compiled)
+    result = estimate_layout(compiled, layout, profile)
+    path = compute_critical_path(result)
+    return result, path
+
+
+def test_fig6_trace(benchmark):
+    result, path = benchmark.pedantic(build_fig6, iterations=1, rounds=1)
+
+    emit(
+        "Figure 6: execution trace + critical path (keyword, 4 cores)",
+        render_trace(result)
+        + "\n\n"
+        + render_critical_path(path)
+        + "\n\nDOT:\n"
+        + trace_to_dot(result, path, "fig6-trace"),
+        artifact="fig6_trace.txt",
+    )
+
+    # -- shape assertions -------------------------------------------------------
+    # The trace spreads processText over several cores.
+    process_cores = {
+        e.core for e in result.trace if e.task == "processText"
+    }
+    assert len(process_cores) >= 3
+
+    # The critical path starts at startup and ends at the final merge, as in
+    # the paper's figure.
+    assert path.steps[0].event.task == "startup"
+    assert path.steps[-1].event.task == "mergeIntermediateResult"
+    assert path.total == result.total_cycles
+
+    # Every merge runs on core 0 (single instantiation of a multi-parameter
+    # task), giving the serialization the figure shows.
+    merge_cores = {
+        e.core for e in result.trace if e.task == "mergeIntermediateResult"
+    }
+    assert merge_cores == {0}

@@ -1,0 +1,64 @@
+"""Figure 8 — the task flow of the Tracking benchmark.
+
+The paper's figure shows three phases (image processing, feature
+extraction, feature tracking) with per-piece data parallelism feeding
+aggregation steps. We regenerate the task-flow graph from the CSTG and
+check the phase structure."""
+
+from conftest import emit
+from repro.bench import load_benchmark, get_spec
+from repro.core import annotated_cstg, profile_program
+from repro.schedule.coregroup import build_group_graph, build_task_edges
+from repro.viz import taskflow_to_dot
+
+PHASES = {
+    "image processing": ["blurStrip", "gradientStrip"],
+    "feature extraction": ["scoreStrip", "collectFeatures"],
+    "feature tracking": ["trackFeatures", "mergeTracks"],
+}
+
+
+def build_fig8():
+    compiled = load_benchmark("Tracking")
+    profile = profile_program(compiled, list(get_spec("Tracking").args))
+    cstg = annotated_cstg(compiled, profile)
+    edges = build_task_edges(compiled.info, cstg, profile)
+    groups = build_group_graph(compiled.info, cstg, profile)
+    return compiled, edges, groups
+
+
+def test_fig8_taskflow(benchmark):
+    compiled, edges, groups = benchmark.pedantic(
+        build_fig8, iterations=1, rounds=1
+    )
+
+    lines = ["phases:"]
+    for phase, tasks in PHASES.items():
+        lines.append(f"  {phase}: {', '.join(tasks)}")
+    lines.append("")
+    lines.append(groups.format())
+    lines.append("")
+    lines.append("DOT:")
+    lines.append(taskflow_to_dot(edges, groups, "fig8-tracking-taskflow"))
+    emit(
+        "Figure 8: task flow of the Tracking benchmark",
+        "\n".join(lines),
+        artifact="fig8_taskflow.txt",
+    )
+
+    pairs = {(e.src, e.dst) for e in edges}
+    # Phase 1: startup fans strips out to the image-processing chain.
+    assert ("startup", "blurStrip") in pairs
+    assert ("blurStrip", "gradientStrip") in pairs
+    assert ("gradientStrip", "scoreStrip") in pairs
+    # Phase 2: per-strip features merge into the tracker.
+    assert ("scoreStrip", "collectFeatures") in pairs
+    # Phase 3: the tracker spawns track chunks, merged back at the end.
+    assert ("collectFeatures", "trackFeatures") in pairs
+    assert ("trackFeatures", "mergeTracks") in pairs
+
+    # All three phases are present as tasks.
+    tasks = {t for e in edges for t in (e.src, e.dst)}
+    for phase_tasks in PHASES.values():
+        for task in phase_tasks:
+            assert task in tasks, task

@@ -1,0 +1,86 @@
+"""Figure 9 — accuracy of the scheduling simulator.
+
+For every benchmark we compare the scheduling simulator's estimated cycle
+count against the machine's real cycle count, for the single-core Bamboo
+layout and for the synthesized 62-core layout. Paper errors: within ±1.7%
+on one core and within -7.7%..0% on 62 cores (the simulator slightly
+underestimates because tasks slow down under real communication load)."""
+
+from conftest import emit
+from repro.bench import PAPER_BENCHMARKS, get_spec
+from repro.core import single_core_layout
+from repro.schedule.simulator import estimate_layout
+from repro.viz import render_table
+
+
+def run_all(ctx):
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        compiled = ctx.compiled(name)
+        profile = ctx.profile(name)
+        hints = get_spec(name).hints
+
+        one_layout = single_core_layout(compiled)
+        one_est = estimate_layout(compiled, one_layout, profile, hints=hints)
+        one_real = ctx.one_core_run(name)
+
+        many_report = ctx.synthesis_report(name)
+        many_est = estimate_layout(
+            compiled, many_report.layout, profile, hints=hints
+        )
+        many_real = ctx.many_core_run(name)
+
+        rows.append(
+            {
+                "name": name,
+                "one_est": one_est.total_cycles,
+                "one_real": one_real.total_cycles,
+                "many_est": many_est.total_cycles,
+                "many_real": many_real.total_cycles,
+            }
+        )
+    return rows
+
+
+def test_fig9_accuracy(benchmark, ctx):
+    rows = benchmark.pedantic(run_all, args=(ctx,), iterations=1, rounds=1)
+
+    def err(estimated, real):
+        return (estimated - real) / real
+
+    table = render_table(
+        [
+            "Benchmark",
+            "1-Core est",
+            "1-Core real",
+            "err",
+            "62-Core est",
+            "62-Core real",
+            "err",
+        ],
+        [
+            [
+                r["name"],
+                r["one_est"],
+                r["one_real"],
+                f"{err(r['one_est'], r['one_real']):+.1%}",
+                r["many_est"],
+                r["many_real"],
+                f"{err(r['many_est'], r['many_real']):+.1%}",
+            ]
+            for r in rows
+        ],
+    )
+    emit(
+        "Figure 9: accuracy of the scheduling simulator",
+        table,
+        artifact="fig9_accuracy.txt",
+    )
+
+    for r in rows:
+        one_error = err(r["one_est"], r["one_real"])
+        many_error = err(r["many_est"], r["many_real"])
+        # Paper: 1-core errors within about ±2%.
+        assert abs(one_error) < 0.05, (r["name"], one_error)
+        # Paper: 62-core errors within about ±8%, skewed to underestimates.
+        assert abs(many_error) < 0.12, (r["name"], many_error)

@@ -1,0 +1,103 @@
+"""Extension: network topologies (paper §4.6).
+
+The paper notes the approach extends to "new network topologies by simply
+extending the simulation to model these factors". Layouts carry an
+interconnect shape (mesh / torus / ring). Two regimes:
+
+* **compute-bound** — the synthesized 62-core KMeans layout: transfer
+  latency is fully hidden behind task execution, so all topologies give
+  identical cycle counts (and identical message counts — only latency can
+  differ);
+* **latency-bound** — a single keyword section making the round trip
+  core 0 → far worker → core 0 with nothing to hide behind: cycle counts
+  order exactly by the topology's hop distance to the worker core.
+"""
+
+from conftest import emit
+from repro.bench import PAPER_MESH_WIDTH, load_benchmark
+from repro.core import run_layout
+from repro.schedule.layout import Layout
+from repro.viz import render_table
+
+TOPOLOGIES = ["mesh", "torus", "ring"]
+
+
+def compute_bound_rows(ctx):
+    compiled = ctx.compiled("KMeans")
+    args = ctx.args("KMeans")
+    base = ctx.synthesis_report("KMeans").layout
+    rows = []
+    for topology in TOPOLOGIES:
+        layout = Layout.make(
+            base.num_cores,
+            {task: list(cores) for task, cores in base.as_dict().items()},
+            mesh_width=PAPER_MESH_WIDTH,
+            topology=topology,
+        )
+        result = run_layout(compiled, layout, args)
+        rows.append(
+            {
+                "topology": topology,
+                "cycles": result.total_cycles,
+                "messages": result.messages,
+                "stdout": result.stdout,
+            }
+        )
+    return rows
+
+
+def latency_bound_rows():
+    compiled = load_benchmark("Keyword")
+    worker_core = 15  # far corner of a 4x4 mesh; adjacent on the ring
+    mapping = {task: [0] for task in compiled.info.tasks}
+    mapping["processText"] = [worker_core]
+    rows = []
+    for topology in TOPOLOGIES:
+        layout = Layout.make(16, mapping, mesh_width=4, topology=topology)
+        result = run_layout(compiled, layout, ["1"])
+        rows.append(
+            {
+                "topology": topology,
+                "hops": layout.hops(0, worker_core),
+                "cycles": result.total_cycles,
+                "stdout": result.stdout,
+            }
+        )
+    return rows
+
+
+def test_topologies(benchmark, ctx):
+    compute_rows, latency_rows = benchmark.pedantic(
+        lambda: (compute_bound_rows(ctx), latency_bound_rows()),
+        iterations=1,
+        rounds=1,
+    )
+
+    body = (
+        "compute-bound (KMeans, synthesized 62-core layout):\n"
+        + render_table(
+            ["Topology", "Cycles", "Messages"],
+            [
+                [r["topology"], r["cycles"], r["messages"]]
+                for r in compute_rows
+            ],
+        )
+        + "\n\nlatency-bound (keyword, 1 section, worker on core 15 of 16):\n"
+        + render_table(
+            ["Topology", "Hops to worker", "Cycles"],
+            [[r["topology"], r["hops"], r["cycles"]] for r in latency_rows],
+        )
+    )
+    emit("Extension: interconnect topology", body, artifact="topology.txt")
+
+    # Compute-bound: identical answers and cycle counts — latency hides.
+    assert len({r["stdout"] for r in compute_rows}) == 1
+    assert len({r["cycles"] for r in compute_rows}) == 1
+    assert len({r["messages"] for r in compute_rows}) == 1
+
+    # Latency-bound: answers identical, cycles order with hop distance.
+    assert len({r["stdout"] for r in latency_rows}) == 1
+    by_hops = sorted(latency_rows, key=lambda r: r["hops"])
+    cycles_in_hop_order = [r["cycles"] for r in by_hops]
+    assert cycles_in_hop_order == sorted(cycles_in_hop_order)
+    assert by_hops[0]["cycles"] < by_hops[-1]["cycles"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Field re-optimization — the paper's §7 extension, running.
+
+An AdaptiveExecutable keeps its layout separate from its code. It ships
+conservatively (single core), profiles itself during production runs, and
+periodically reruns the synthesis pipeline against the workload it actually
+observes — including after being migrated to a different processor.
+
+Run:  python examples/adaptive_executable.py
+"""
+
+from repro.bench import load_benchmark
+from repro.core.adaptive import AdaptiveExecutable
+from repro.schedule.anneal import AnnealConfig
+
+
+def main() -> None:
+    compiled = load_benchmark("Fractal")
+    exe = AdaptiveExecutable(
+        compiled,
+        num_cores=8,
+        profile_every=3,
+        config=AnnealConfig(max_evaluations=200),
+    )
+
+    print("phase 1: running in the field on an 8-core machine")
+    for run in range(1, 5):
+        result = exe.run(["48"])
+        print(
+            f"  run {run}: {result.total_cycles:>9,} cycles on "
+            f"{len(exe.layout.cores_used())} cores -> {result.stdout!r}"
+        )
+
+    print("\nphase 2: the machine is upgraded to 16 cores")
+    exe.retarget(16)
+    for run in range(5, 9):
+        result = exe.run(["48"])
+        print(
+            f"  run {run}: {result.total_cycles:>9,} cycles on "
+            f"{len(exe.layout.cores_used())} cores"
+        )
+
+    print("\nphase 3: the field workload doubles")
+    for run in range(9, 13):
+        result = exe.run(["96"])
+        print(
+            f"  run {run}: {result.total_cycles:>9,} cycles on "
+            f"{len(exe.layout.cores_used())} cores"
+        )
+
+    print("\nadaptation log:")
+    for record in exe.history:
+        verdict = "ADOPTED" if record.adopted else "kept old"
+        print(
+            f"  after run {record.run_index} (workload {record.workload}): "
+            f"estimate {record.old_estimate:,} -> {record.new_estimate:,} "
+            f"cycles ({record.predicted_gain:+.0%}) => {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of *Bamboo: A Data-Centric, Object-Oriented Approach to
+Many-core Software* (Zhou & Demsky, PLDI 2010).
+
+Subpackages:
+
+* :mod:`repro.lang` — the Bamboo surface language (lexer/parser/AST).
+* :mod:`repro.sema` — type checking and symbol tables.
+* :mod:`repro.ir` — register IR, lowering, and the cycle cost model.
+* :mod:`repro.analysis` — dependence (ASTG/CSTG) and disjointness analyses.
+* :mod:`repro.schedule` — implementation synthesis: layouts, rules, mapping
+  search, the scheduling simulator, critical paths, and DSA.
+* :mod:`repro.runtime` — the interpreter, distributed scheduler, and the
+  many-core machine simulator.
+* :mod:`repro.core` — the public API.
+* :mod:`repro.bench` — the paper's benchmarks and experiment runners.
+* :mod:`repro.viz` — DOT/text visualization.
+"""
+
+__version__ = "1.0.0"

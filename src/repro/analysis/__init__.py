@@ -1,0 +1,31 @@
+"""Static analyses: dependence (ASTG/CSTG) and disjointness/locking."""
+
+from .astate import AState, eval_flag_expr, guard_matches, state_of_object
+from .astg import ASTG, ASTGEdge, build_all_astgs, build_astg
+from .cstg import CSTG, CSTGNode, NewObjectEdge, TransitionEdge
+from .diagnostics import Diagnostic, analyze_diagnostics, warnings_only
+from .disjoint import DisjointnessResult, analyze_disjointness
+from .locks import LockPlan, TaskLockPlan, build_lock_plan
+
+__all__ = [
+    "ASTG",
+    "ASTGEdge",
+    "AState",
+    "CSTG",
+    "CSTGNode",
+    "Diagnostic",
+    "DisjointnessResult",
+    "LockPlan",
+    "NewObjectEdge",
+    "TaskLockPlan",
+    "TransitionEdge",
+    "analyze_diagnostics",
+    "analyze_disjointness",
+    "build_all_astgs",
+    "build_astg",
+    "build_lock_plan",
+    "eval_flag_expr",
+    "guard_matches",
+    "state_of_object",
+    "warnings_only",
+]

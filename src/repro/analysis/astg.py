@@ -1,0 +1,167 @@
+"""Dependence analysis: abstract state transition graphs (paper §4.1).
+
+For every class that can serve as a task parameter, the analysis computes a
+finite state machine — the ASTG — whose nodes are the abstract states
+instances of the class can reach and whose edges are the transitions tasks
+cause. Allocation sites seed the initial states; a worklist closes the set
+under all reachable task exits whose guards the state satisfies.
+
+The per-class ASTGs are later merged into the combined state transition
+graph (CSTG, :mod:`repro.analysis.cstg`) that drives implementation
+synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..ir import cfg
+from ..ir import instructions as ir
+from ..sema.symbols import ProgramInfo
+from .astate import AState, guard_matches
+
+
+@dataclass(frozen=True)
+class ASTGEdge:
+    """A task-caused transition between two abstract states of one class."""
+
+    src: AState
+    dst: AState
+    task: str
+    param_index: int
+    exit_id: int
+
+    def label(self) -> str:
+        return f"{self.task}[{self.param_index}]#{self.exit_id}"
+
+
+@dataclass
+class ASTG:
+    """The abstract state transition graph of one class."""
+
+    class_name: str
+    states: Set[AState] = field(default_factory=set)
+    #: states objects of this class can be allocated in -> allocation sites
+    initial: Dict[AState, List[int]] = field(default_factory=dict)
+    edges: List[ASTGEdge] = field(default_factory=list)
+
+    def out_edges(self, state: AState) -> List[ASTGEdge]:
+        return [e for e in self.edges if e.src == state]
+
+    def successors(self, state: AState) -> Set[AState]:
+        return {e.dst for e in self.out_edges(state)}
+
+    def format(self) -> str:
+        lines = [f"ASTG for class {self.class_name}:"]
+        for state in sorted(self.states):
+            marker = "*" if state in self.initial else " "
+            lines.append(f"  {marker} {state}")
+        for edge in self.edges:
+            lines.append(
+                f"    {edge.src} --{edge.task}#{edge.exit_id}--> {edge.dst}"
+            )
+        return "\n".join(lines)
+
+
+def _exit_effects_for_param(
+    func: ir.IRFunction, exit_id: int, param_index: int
+) -> Tuple[Dict[str, bool], List[Tuple[str, int]]]:
+    """Returns (flag updates, tag deltas) one exit applies to one parameter."""
+    spec = func.exits[exit_id]
+    flag_updates = spec.flag_updates.get(param_index, {})
+    tag_deltas: List[Tuple[str, int]] = []
+    for action in spec.tag_updates.get(param_index, []):
+        tag_deltas.append((action.tag_type, 1 if action.op == "add" else -1))
+    return flag_updates, tag_deltas
+
+
+def _apply_effects(
+    state: AState, flag_updates: Dict[str, bool], tag_deltas: List[Tuple[str, int]]
+) -> AState:
+    result = state.with_flags(flag_updates)
+    for tag_type, delta in tag_deltas:
+        result = result.with_tag_delta(tag_type, delta)
+    return result
+
+
+def initial_states(
+    info: ProgramInfo, ir_program: ir.IRProgram, class_name: str
+) -> Dict[AState, List[int]]:
+    """Abstract states objects of ``class_name`` can be allocated in.
+
+    Only allocation sites inside *tasks* feed the global object space (the
+    runtime enqueues those objects for dispatch); the implicit startup
+    object is modelled as a virtual site ``-1``.
+    """
+    out: Dict[AState, List[int]] = {}
+    for site in ir_program.alloc_sites.values():
+        if site.class_name != class_name:
+            continue
+        if site.function not in ir_program.tasks:
+            continue
+        flags = [f for f, v in site.flag_inits.items() if v]
+        tags = {t: 1 for t in site.tag_types}
+        state = AState.make(flags, tags)
+        out.setdefault(state, []).append(site.site_id)
+    if class_name == "StartupObject":
+        state = AState.make(["initialstate"])
+        out.setdefault(state, []).append(-1)
+    return out
+
+
+def build_astg(
+    info: ProgramInfo, ir_program: ir.IRProgram, class_name: str
+) -> ASTG:
+    """Builds the ASTG for one class with a worklist fixpoint."""
+    astg = ASTG(class_name=class_name)
+    astg.initial = initial_states(info, ir_program, class_name)
+    worklist: List[AState] = list(astg.initial)
+    astg.states.update(worklist)
+    seen_edges: Set[ASTGEdge] = set()
+
+    touching = [
+        (task_info, param_index, param)
+        for task_info in info.tasks.values()
+        for param_index, param in enumerate(task_info.decl.params)
+        if param.param_type.name == class_name
+    ]
+
+    while worklist:
+        state = worklist.pop()
+        for task_info, param_index, param in touching:
+            if not guard_matches(param, state):
+                continue
+            func = ir_program.tasks[task_info.name]
+            for exit_id in sorted(cfg.reachable_exits(func)):
+                flag_updates, tag_deltas = _exit_effects_for_param(
+                    func, exit_id, param_index
+                )
+                next_state = _apply_effects(state, flag_updates, tag_deltas)
+                edge = ASTGEdge(
+                    src=state,
+                    dst=next_state,
+                    task=task_info.name,
+                    param_index=param_index,
+                    exit_id=exit_id,
+                )
+                if edge not in seen_edges:
+                    seen_edges.add(edge)
+                    astg.edges.append(edge)
+                if next_state not in astg.states:
+                    astg.states.add(next_state)
+                    worklist.append(next_state)
+    return astg
+
+
+def build_all_astgs(
+    info: ProgramInfo, ir_program: ir.IRProgram
+) -> Dict[str, ASTG]:
+    """Builds ASTGs for every class that serves as a task parameter."""
+    param_classes: Set[str] = set()
+    for task_info in info.tasks.values():
+        param_classes.update(task_info.param_classes)
+    return {
+        class_name: build_astg(info, ir_program, class_name)
+        for class_name in sorted(param_classes)
+    }

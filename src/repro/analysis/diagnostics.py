@@ -1,0 +1,137 @@
+"""Developer diagnostics derived from the dependence analysis.
+
+The ASTGs make whole-program task-dispatch behaviour statically visible, so
+several classes of likely bugs can be reported at compile time:
+
+* **dead task** — no reachable abstract state satisfies some parameter's
+  guard: the runtime can never invoke the task;
+* **never-set flag** — a declared flag no allocation site or taskexit ever
+  sets to true: guards mentioning it positively are unsatisfiable;
+* **parked state** — a reachable non-empty abstract state that no task
+  consumes: objects entering it sit in the object space forever (this is
+  informational — terminal result states are often intended).
+
+These power ``python -m repro compile`` output and are available as
+:func:`analyze_diagnostics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..sema.symbols import ProgramInfo
+from ..ir import instructions as ir
+from .astate import guard_matches
+from .astg import ASTG
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding. ``severity`` is ``"warning"`` or ``"info"``."""
+
+    kind: str  # "dead-task" | "never-set-flag" | "parked-state"
+    severity: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.message}"
+
+
+def _flags_ever_set(info: ProgramInfo, ir_program: ir.IRProgram) -> Dict[str, Set[str]]:
+    """Per class: flags that some allocation site or taskexit sets true."""
+    out: Dict[str, Set[str]] = {name: set() for name in info.classes}
+    for site in ir_program.alloc_sites.values():
+        for flag, value in site.flag_inits.items():
+            if value:
+                out[site.class_name].add(flag)
+    for task_name, func in ir_program.tasks.items():
+        task_info = info.task_info(task_name)
+        for spec in func.exits.values():
+            for param_index, updates in spec.flag_updates.items():
+                class_name = task_info.param_classes[param_index]
+                for flag, value in updates.items():
+                    if value:
+                        out[class_name].add(flag)
+    # The runtime sets the startup flag itself.
+    out.setdefault("StartupObject", set()).add("initialstate")
+    return out
+
+
+def analyze_diagnostics(
+    info: ProgramInfo,
+    ir_program: ir.IRProgram,
+    astgs: Dict[str, ASTG],
+) -> List[Diagnostic]:
+    """Computes all diagnostics for a compiled program."""
+    diagnostics: List[Diagnostic] = []
+
+    # -- never-set flags ------------------------------------------------------
+    ever_set = _flags_ever_set(info, ir_program)
+    for class_name, class_info in sorted(info.classes.items()):
+        for flag in class_info.flags:
+            if flag not in ever_set.get(class_name, set()):
+                diagnostics.append(
+                    Diagnostic(
+                        kind="never-set-flag",
+                        severity="warning",
+                        subject=f"{class_name}.{flag}",
+                        message=(
+                            f"flag '{flag}' of class '{class_name}' is never "
+                            "set to true by any allocation site or taskexit"
+                        ),
+                    )
+                )
+
+    # -- dead tasks --------------------------------------------------------------
+    for task_name in sorted(info.tasks):
+        task_info = info.tasks[task_name]
+        for param_index, param in enumerate(task_info.decl.params):
+            astg = astgs.get(param.param_type.name)
+            states = astg.states if astg else set()
+            if not any(guard_matches(param, state) for state in states):
+                diagnostics.append(
+                    Diagnostic(
+                        kind="dead-task",
+                        severity="warning",
+                        subject=task_name,
+                        message=(
+                            f"task '{task_name}' can never be invoked: no "
+                            f"reachable state of class "
+                            f"'{param.param_type.name}' satisfies the guard "
+                            f"of parameter '{param.name}' ({param.guard})"
+                        ),
+                    )
+                )
+                break  # one finding per task is enough
+
+    # -- parked states --------------------------------------------------------------
+    for class_name, astg in sorted(astgs.items()):
+        consumers = [
+            param
+            for task_info in info.tasks.values()
+            for param in task_info.decl.params
+            if param.param_type.name == class_name
+        ]
+        for state in sorted(astg.states):
+            if not state.flags and not state.tags:
+                continue  # the empty state is the conventional "retired"
+            if not any(guard_matches(param, state) for param in consumers):
+                diagnostics.append(
+                    Diagnostic(
+                        kind="parked-state",
+                        severity="info",
+                        subject=f"{class_name}:{state}",
+                        message=(
+                            f"objects of class '{class_name}' reaching state "
+                            f"{state} are consumed by no task (terminal "
+                            "result state, or a leak)"
+                        ),
+                    )
+                )
+    return diagnostics
+
+
+def warnings_only(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity == "warning"]

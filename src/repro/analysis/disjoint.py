@@ -1,0 +1,77 @@
+"""Whole-program disjointness analysis (paper §4.2).
+
+Bamboo's task parameter objects are intended to be the roots of disjoint
+heap data structures. This analysis detects, per task, which parameter
+pairs may violate that property — either because the task's own code links
+their regions or because a method it calls does. The compiler uses the
+result to generate the locking strategy (:mod:`repro.analysis.locks`) that
+guarantees transactional task semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from ..ir import instructions as ir
+from ..sema.symbols import ProgramInfo
+from .reachgraph import (
+    MethodSummary,
+    ReachGraph,
+    analyze_function,
+    compute_method_summaries,
+)
+
+
+@dataclass
+class DisjointnessResult:
+    """Analysis output for a whole program."""
+
+    #: per task: parameter index pairs whose heap regions may overlap
+    sharing: Dict[str, Set[FrozenSet[int]]] = field(default_factory=dict)
+    #: the per-method reachability summaries (exposed for tests/diagnostics)
+    summaries: Dict[str, MethodSummary] = field(default_factory=dict)
+    #: the per-task reachability graphs
+    graphs: Dict[str, ReachGraph] = field(default_factory=dict)
+
+    def task_is_disjoint(self, task: str) -> bool:
+        return not self.sharing.get(task)
+
+    def sharing_groups(self, task: str) -> List[Set[int]]:
+        """Connected components of the sharing relation: parameter groups
+        that must be protected by a shared lock."""
+        pairs = self.sharing.get(task, set())
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for pair in pairs:
+            members = sorted(pair)
+            union(members[0], members[1])
+        groups: Dict[int, Set[int]] = {}
+        for x in parent:
+            groups.setdefault(find(x), set()).add(x)
+        return sorted(groups.values(), key=lambda g: sorted(g))
+
+
+def analyze_disjointness(
+    info: ProgramInfo, ir_program: ir.IRProgram
+) -> DisjointnessResult:
+    """Runs the analysis for every task in the program."""
+    result = DisjointnessResult()
+    result.summaries = compute_method_summaries(ir_program)
+    for task_name, func in ir_program.tasks.items():
+        graph = analyze_function(func, ir_program, result.summaries)
+        result.graphs[task_name] = graph
+        result.sharing[task_name] = graph.sharing_pairs()
+    return result

@@ -1,0 +1,69 @@
+"""Lock-strategy generation from the disjointness analysis (paper §4.2).
+
+Bamboo transactions are lightweight: at invocation, a task simply locks its
+parameter objects; if the runtime cannot acquire every lock it releases
+them all and runs a different task — tasks never abort (§1, §4.7).
+
+When the disjointness analysis proves all parameter regions disjoint,
+per-parameter-object locks suffice. When a task may *introduce* sharing
+between two parameters' regions, the compiler emits a shared-lock directive:
+at commit time the runtime merges the two objects' lock groups, so any later
+task operating on either structure serializes with tasks operating on the
+other. This mirrors the paper's "adds a shared lock for the two parameter
+objects".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..sema.symbols import ProgramInfo
+from .disjoint import DisjointnessResult
+
+
+@dataclass
+class TaskLockPlan:
+    """Locking directive for one task."""
+
+    task: str
+    num_params: int
+    #: parameter index groups whose lock domains must be merged when the
+    #: task commits (empty for fully disjoint tasks)
+    shared_groups: List[Set[int]] = field(default_factory=list)
+
+    @property
+    def is_fine_grained(self) -> bool:
+        return not self.shared_groups
+
+
+@dataclass
+class LockPlan:
+    tasks: Dict[str, TaskLockPlan] = field(default_factory=dict)
+
+    def plan_for(self, task: str) -> TaskLockPlan:
+        return self.tasks[task]
+
+    def fine_grained_tasks(self) -> List[str]:
+        return sorted(t for t, p in self.tasks.items() if p.is_fine_grained)
+
+    def shared_lock_tasks(self) -> List[str]:
+        return sorted(t for t, p in self.tasks.items() if not p.is_fine_grained)
+
+
+def build_lock_plan(
+    info: ProgramInfo, disjointness: DisjointnessResult
+) -> LockPlan:
+    """Builds the per-task locking strategy from the analysis result."""
+    plan = LockPlan()
+    for task_name, task_info in info.tasks.items():
+        task_plan = TaskLockPlan(
+            task=task_name, num_params=len(task_info.decl.params)
+        )
+        task_plan.shared_groups = [
+            group
+            for group in disjointness.sharing_groups(task_name)
+            if len(group) > 1
+        ]
+        plan.tasks[task_name] = task_plan
+    return plan

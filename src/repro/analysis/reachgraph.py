@@ -1,0 +1,314 @@
+"""Reachability-graph abstraction for the disjointness analysis (paper §4.2).
+
+The analysis reasons about *static reachability graphs*: abstract nodes
+stand for runtime objects, directed edges for possible heap references, and
+each node's *origin set* records which function parameters may reach it —
+the paper's "reachability states". A flow-insensitive fixpoint over the IR
+of one function builds the graph; method calls are handled with summaries
+computed bottom-up (with a global fixpoint, so recursion converges).
+
+Node kinds:
+
+* ``param k``   — the k-th parameter object itself;
+* ``content n`` — an unknown object loaded out of node ``n``'s region;
+* ``alloc s``   — objects allocated at site ``s`` inside this function;
+* ``fresh c``   — objects returned by the callee at call site ``c``.
+
+This is a deliberate simplification of Jenista & Demsky's analysis (field-
+insensitive, flow-insensitive) that preserves the property the compiler
+needs: a sound "may the regions reachable from two distinct task parameters
+overlap after this task runs?" answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..ir import instructions as ir
+
+
+@dataclass(frozen=True)
+class RNode:
+    """An abstract heap node."""
+
+    kind: str  # "param" | "content" | "alloc" | "fresh"
+    key: object
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.key})"
+
+
+def param_node(index: int) -> RNode:
+    return RNode("param", index)
+
+
+def content_node(base: RNode) -> RNode:
+    return RNode("content", base)
+
+
+def alloc_node(site_id: int) -> RNode:
+    return RNode("alloc", site_id)
+
+
+def fresh_node(call_key: Tuple[str, int, int]) -> RNode:
+    return RNode("fresh", call_key)
+
+
+def origin_params(node: RNode) -> FrozenSet[int]:
+    """The parameter indices whose region this node belongs to a priori."""
+    if node.kind == "param":
+        return frozenset([node.key])
+    if node.kind == "content":
+        return origin_params(node.key)
+    return frozenset()
+
+
+@dataclass
+class MethodSummary:
+    """Caller-visible effects of a method on reachability.
+
+    ``connects`` holds directed pairs (i, j): the callee may create a path
+    from parameter i's region to parameter j's region. ``ret_from`` lists
+    parameters whose region the return value may point into; ``ret_fresh``
+    is true when the return value may be a fresh object.
+    """
+
+    connects: Set[Tuple[int, int]] = field(default_factory=set)
+    ret_from: Set[int] = field(default_factory=set)
+    ret_fresh: bool = False
+
+    def copy(self) -> "MethodSummary":
+        return MethodSummary(
+            connects=set(self.connects),
+            ret_from=set(self.ret_from),
+            ret_fresh=self.ret_fresh,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MethodSummary)
+            and self.connects == other.connects
+            and self.ret_from == other.ret_from
+            and self.ret_fresh == other.ret_fresh
+        )
+
+
+@dataclass
+class ReachGraph:
+    """Result of analyzing one function."""
+
+    func_name: str
+    num_params: int
+    edges: Dict[RNode, Set[RNode]] = field(default_factory=dict)
+    points_to: Dict[int, Set[RNode]] = field(default_factory=dict)  # reg -> nodes
+    return_nodes: Set[RNode] = field(default_factory=set)
+
+    def add_edge(self, src: RNode, dst: RNode) -> bool:
+        bucket = self.edges.setdefault(src, set())
+        if dst in bucket:
+            return False
+        bucket.add(dst)
+        return True
+
+    def reachable_from(self, roots: Set[RNode]) -> Set[RNode]:
+        seen: Set[RNode] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return seen
+
+    def region_of_param(self, index: int) -> Set[RNode]:
+        return self.reachable_from({param_node(index)})
+
+    def sharing_pairs(self) -> Set[FrozenSet[int]]:
+        """Unordered parameter pairs whose regions may overlap."""
+        regions = [self.region_of_param(i) for i in range(self.num_params)]
+        pairs: Set[FrozenSet[int]] = set()
+        for i in range(self.num_params):
+            for j in range(i + 1, self.num_params):
+                overlap = regions[i] & regions[j]
+                if overlap:
+                    pairs.add(frozenset((i, j)))
+                    continue
+                # A node of origin j inside region i (or vice versa) also
+                # means the regions are not disjoint.
+                if any(j in origin_params(n) for n in regions[i]) or any(
+                    i in origin_params(n) for n in regions[j]
+                ):
+                    pairs.add(frozenset((i, j)))
+        return pairs
+
+
+class _FunctionAnalyzer:
+    def __init__(
+        self,
+        func: ir.IRFunction,
+        ir_program: ir.IRProgram,
+        summaries: Dict[str, MethodSummary],
+    ):
+        self.func = func
+        self.ir_program = ir_program
+        self.summaries = summaries
+        self.graph = ReachGraph(
+            func_name=func.name, num_params=len(func.param_names)
+        )
+        for index in range(len(func.param_names)):
+            self.graph.points_to[index] = {param_node(index)}
+
+    def _pts(self, operand: ir.Operand) -> Set[RNode]:
+        if isinstance(operand, ir.Reg):
+            return self.graph.points_to.setdefault(operand.index, set())
+        return set()
+
+    def _add_pts(self, reg: ir.Reg, nodes: Set[RNode]) -> bool:
+        bucket = self.graph.points_to.setdefault(reg.index, set())
+        before = len(bucket)
+        bucket.update(nodes)
+        return len(bucket) != before
+
+    def _load_result(self, bases: Set[RNode]) -> Tuple[Set[RNode], bool]:
+        """Nodes produced by loading a reference out of ``bases``."""
+        result: Set[RNode] = set()
+        changed = False
+        for base in bases:
+            if base.kind == "content" and base.key.kind == "content":
+                # Depth-limit content chains at 2 to keep the domain finite.
+                content = base
+            else:
+                content = content_node(base)
+            result.add(content)
+            changed |= self.graph.add_edge(base, content)
+            result.update(self.graph.edges.get(base, ()))
+        return result, changed
+
+    def run(self) -> ReachGraph:
+        changed = True
+        while changed:
+            changed = False
+            for block in self.func.blocks:
+                for index, instr in enumerate(block.instructions):
+                    changed |= self._transfer(block.block_id, index, instr)
+        return self.graph
+
+    def _transfer(self, block_id: int, index: int, instr: ir.Instr) -> bool:
+        graph = self.graph
+        changed = False
+        if isinstance(instr, ir.Move):
+            changed |= self._add_pts(instr.dst, self._pts(instr.src))
+        elif isinstance(instr, ir.Load):
+            if instr.is_ref:
+                result, load_changed = self._load_result(self._pts(instr.obj))
+                changed |= load_changed
+                changed |= self._add_pts(instr.dst, result)
+        elif isinstance(instr, ir.Store):
+            if instr.is_ref:
+                for base in self._pts(instr.obj):
+                    for value in self._pts(instr.src):
+                        changed |= graph.add_edge(base, value)
+        elif isinstance(instr, ir.ALoad):
+            if instr.is_ref:
+                result, load_changed = self._load_result(self._pts(instr.array))
+                changed |= load_changed
+                changed |= self._add_pts(instr.dst, result)
+        elif isinstance(instr, ir.AStore):
+            if instr.is_ref:
+                for base in self._pts(instr.array):
+                    for value in self._pts(instr.src):
+                        changed |= graph.add_edge(base, value)
+        elif isinstance(instr, (ir.NewObj,)):
+            changed |= self._add_pts(instr.dst, {alloc_node(instr.site_id)})
+        elif isinstance(instr, ir.NewArr):
+            changed |= self._add_pts(
+                instr.dst, {fresh_node((self.func.name, block_id, index))}
+            )
+        elif isinstance(instr, ir.Call):
+            changed |= self._apply_call(block_id, index, instr)
+        elif isinstance(instr, ir.Ret):
+            if instr.src is not None:
+                before = len(graph.return_nodes)
+                graph.return_nodes.update(self._pts(instr.src))
+                changed |= len(graph.return_nodes) != before
+        # CallBuiltin results are strings/numbers/immutable arrays of
+        # strings: they cannot link object regions, so they are ignored.
+        return changed
+
+    def _apply_call(self, block_id: int, index: int, instr: ir.Call) -> bool:
+        summary = self.summaries.get(instr.target, MethodSummary())
+        changed = False
+        args = instr.args
+        for i, j in summary.connects:
+            if i >= len(args) or j >= len(args):
+                continue
+            for a in self._pts(args[i]):
+                for b in self._pts(args[j]):
+                    changed |= self.graph.add_edge(a, b)
+        if instr.dst is not None:
+            result: Set[RNode] = set()
+            for k in summary.ret_from:
+                if k >= len(args):
+                    continue
+                bases = self._pts(args[k])
+                loaded, load_changed = self._load_result(bases)
+                changed |= load_changed
+                result.update(bases)
+                result.update(loaded)
+            if summary.ret_fresh:
+                result.add(fresh_node((self.func.name, block_id, index)))
+            changed |= self._add_pts(instr.dst, result)
+        return changed
+
+
+def summarize(graph: ReachGraph) -> MethodSummary:
+    """Extracts a caller-visible summary from an analyzed method body."""
+    summary = MethodSummary()
+    for i in range(graph.num_params):
+        region = graph.region_of_param(i)
+        for node in region:
+            for j in origin_params(node):
+                if j != i:
+                    summary.connects.add((i, j))
+    for node in graph.return_nodes:
+        origins = origin_params(node)
+        if origins:
+            summary.ret_from.update(origins)
+        else:
+            summary.ret_fresh = True
+    # The return value may also reach content of parameters transitively:
+    # approximate by closing return origins over reachability.
+    closure = graph.reachable_from(set(graph.return_nodes))
+    for node in closure:
+        summary.ret_from.update(origin_params(node))
+    return summary
+
+
+def analyze_function(
+    func: ir.IRFunction,
+    ir_program: ir.IRProgram,
+    summaries: Dict[str, MethodSummary],
+) -> ReachGraph:
+    return _FunctionAnalyzer(func, ir_program, summaries).run()
+
+
+def compute_method_summaries(
+    ir_program: ir.IRProgram,
+) -> Dict[str, MethodSummary]:
+    """Bottom-up summary computation with a global fixpoint (handles
+    recursion and mutual recursion)."""
+    summaries: Dict[str, MethodSummary] = {
+        name: MethodSummary() for name in ir_program.methods
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, func in ir_program.methods.items():
+            graph = analyze_function(func, ir_program, summaries)
+            new_summary = summarize(graph)
+            if new_summary != summaries[name]:
+                summaries[name] = new_summary
+                changed = True
+    return summaries

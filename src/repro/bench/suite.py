@@ -1,0 +1,139 @@
+"""The benchmark suite of paper §5.
+
+Six benchmarks (Tracking, KMeans, MonteCarlo, FilterBank, Fractal, Series)
+plus the keyword-counting example of §2. Each entry names the Bamboo source
+file, the standard workload arguments (``Input_original``) and the doubled
+workload (``Input_double``) used by the generality experiment (§5.4,
+Figure 11), and the simulator exit-count hints (§4.4).
+
+Workload sizes are scaled to the interpreter substrate (DESIGN.md §2) —
+the *shape* of the task graph matches the original benchmarks while keeping
+simulated runs tractable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.api import CompiledProgram, compile_program
+
+_PROGRAM_DIR = os.path.join(os.path.dirname(__file__), "programs")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: program + workloads + simulator hints."""
+
+    name: str
+    filename: str
+    args: Tuple[str, ...]
+    double_args: Tuple[str, ...]
+    description: str
+    hints: Optional[Dict[str, str]] = None
+    #: expected stdout (same for sequential and Bamboo versions); checked by
+    #: tests to validate that every execution mode computes the same answer
+    check_output: bool = True
+
+    @property
+    def path(self) -> str:
+        return os.path.join(_PROGRAM_DIR, self.filename)
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            name="Tracking",
+            filename="tracking.bam",
+            args=("60", "10"),
+            double_args=("120", "10"),
+            description="feature tracking from computer vision (SD-VBS)",
+        ),
+        BenchmarkSpec(
+            name="KMeans",
+            filename="kmeans.bam",
+            args=("62", "60", "4"),
+            double_args=("124", "60", "4"),
+            description="K-means clustering (STAMP)",
+        ),
+        BenchmarkSpec(
+            name="MonteCarlo",
+            filename="montecarlo.bam",
+            args=("124", "260"),
+            double_args=("248", "260"),
+            description="Monte Carlo simulation (Java Grande)",
+        ),
+        BenchmarkSpec(
+            name="FilterBank",
+            filename="filterbank.bam",
+            args=("62", "72"),
+            double_args=("124", "72"),
+            description="multi-channel filter bank (StreamIt)",
+        ),
+        BenchmarkSpec(
+            name="Fractal",
+            filename="fractal.bam",
+            args=("186",),
+            double_args=("372",),
+            description="Mandelbrot set computation",
+        ),
+        BenchmarkSpec(
+            name="Series",
+            filename="series.bam",
+            args=("186", "128"),
+            double_args=("372", "128"),
+            description="Fourier series coefficients (Java Grande)",
+        ),
+        BenchmarkSpec(
+            name="Keyword",
+            filename="keyword.bam",
+            args=("64",),
+            double_args=("128",),
+            description="keyword counting (the paper's §2 example)",
+        ),
+    ]
+}
+
+#: The six benchmarks of the paper's evaluation, in Figure 7 order.
+PAPER_BENCHMARKS: List[str] = [
+    "Tracking",
+    "KMeans",
+    "MonteCarlo",
+    "FilterBank",
+    "Fractal",
+    "Series",
+]
+
+_SOURCE_CACHE: Dict[str, str] = {}
+_COMPILE_CACHE: Dict[str, CompiledProgram] = {}
+
+
+def benchmark_names() -> List[str]:
+    return sorted(BENCHMARKS)
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark '{name}' (have {benchmark_names()})"
+        ) from None
+
+
+def load_source(name: str) -> str:
+    spec = get_spec(name)
+    if name not in _SOURCE_CACHE:
+        with open(spec.path, "r") as handle:
+            _SOURCE_CACHE[name] = handle.read()
+    return _SOURCE_CACHE[name]
+
+
+def load_benchmark(name: str) -> CompiledProgram:
+    """Compiles (and caches) a benchmark program."""
+    if name not in _COMPILE_CACHE:
+        spec = get_spec(name)
+        _COMPILE_CACHE[name] = compile_program(load_source(name), spec.filename)
+    return _COMPILE_CACHE[name]

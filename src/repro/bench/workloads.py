@@ -1,0 +1,39 @@
+"""Workload scaling helpers.
+
+Each benchmark's arguments encode a workload; experiments scale them along
+the *data-parallel* axis (more chunks/rows/simulations) while holding the
+per-chunk work fixed — the paper's Input_double doubles the workload the
+same way (§5.4). ``scale_args`` generalizes that to arbitrary factors for
+scaling studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Index of the argument that carries the data-parallel workload size.
+_SCALABLE_ARG = {
+    "Tracking": 0,      # image strips
+    "KMeans": 0,        # point chunks
+    "MonteCarlo": 0,    # simulations
+    "FilterBank": 0,    # channels
+    "Fractal": 0,       # image rows
+    "Series": 0,        # coefficient pairs
+    "Keyword": 0,       # text sections
+}
+
+
+def scale_args(name: str, args: Sequence[str], factor: float) -> List[str]:
+    """Scales a benchmark's workload by ``factor`` (>= such that the scaled
+    size is at least 1). Only the data-parallel dimension changes."""
+    if name not in _SCALABLE_ARG:
+        raise KeyError(f"unknown benchmark '{name}'")
+    index = _SCALABLE_ARG[name]
+    scaled = list(args)
+    scaled[index] = str(max(1, int(round(int(args[index]) * factor))))
+    return scaled
+
+
+def double_args(name: str, args: Sequence[str]) -> List[str]:
+    """The paper's Input_double: twice the workload (§5.4)."""
+    return scale_args(name, args, 2.0)

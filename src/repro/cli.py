@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``compile FILE``
+    Parse + analyze a Bamboo program; print tasks, ASTGs, and the lock plan.
+``seq FILE [ARGS...]``
+    Run the program's ``SeqMain.run`` sequentially (the C-baseline mode).
+``run FILE [ARGS...] --cores N``
+    Full pipeline: profile, synthesize a layout, execute on the machine.
+``cstg FILE [ARGS...] [--dot]``
+    Print the profile-annotated CSTG (optionally as Graphviz DOT).
+``bench NAME [--cores N]``
+    Run one of the paper's benchmarks through the Figure 7 protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import benchmark_names, run_three_versions
+from .core import (
+    annotated_cstg,
+    compile_program,
+    profile_program,
+    run_layout,
+    run_sequential,
+    single_core_layout,
+    synthesize_layout,
+)
+from .lang.errors import BambooError, RuntimeBambooError, ScheduleError
+
+
+def _load(path: str, optimize: bool = False):
+    with open(path, "r") as handle:
+        source = handle.read()
+    return compile_program(source, path, optimize=optimize)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    compiled = _load(args.file)
+    print(f"tasks: {', '.join(compiled.task_names())}")
+    print()
+    for astg in compiled.astgs.values():
+        if astg.states:
+            print(astg.format())
+    print()
+    print("lock plan:")
+    for task in compiled.task_names():
+        plan = compiled.lock_plan.plan_for(task)
+        kind = (
+            "fine-grained"
+            if plan.is_fine_grained
+            else f"shared groups {plan.shared_groups}"
+        )
+        print(f"  {task}: {kind}")
+    from .analysis.diagnostics import analyze_diagnostics
+
+    diagnostics = analyze_diagnostics(
+        compiled.info, compiled.ir_program, compiled.astgs
+    )
+    if diagnostics:
+        print()
+        print("diagnostics:")
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic}")
+    return 0
+
+
+def _cmd_seq(args: argparse.Namespace) -> int:
+    compiled = _load(args.file)
+    result = run_sequential(compiled, args.args)
+    if result.stdout:
+        print(result.stdout)
+    print(f"[{result.cycles:,} cycles]", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    compiled = _load(args.file, optimize=args.optimize)
+    if args.cores <= 1:
+        result = run_layout(compiled, single_core_layout(compiled), args.args)
+    else:
+        profile = profile_program(compiled, args.args)
+        report = synthesize_layout(
+            compiled, profile, args.cores, seed=args.seed
+        )
+        if args.verbose:
+            print(report.layout.describe(), file=sys.stderr)
+            print(
+                f"[synthesis: {report.evaluations} layouts, "
+                f"{report.wall_seconds:.2f}s]",
+                file=sys.stderr,
+            )
+        result = run_layout(compiled, report.layout, args.args)
+    if result.stdout:
+        print(result.stdout)
+    print(
+        f"[{result.total_cycles:,} cycles on {args.cores} cores, "
+        f"{result.messages} messages]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cstg(args: argparse.Namespace) -> int:
+    compiled = _load(args.file)
+    profile = profile_program(compiled, args.args)
+    cstg = annotated_cstg(compiled, profile)
+    if args.dot:
+        from .viz import cstg_to_dot
+
+        print(cstg_to_dot(cstg, args.file))
+    else:
+        print(cstg.format())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name not in benchmark_names():
+        print(
+            f"unknown benchmark {args.name!r}; available: "
+            f"{', '.join(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    row = run_three_versions(args.name, num_cores=args.cores, seed=args.seed)
+    print(f"{args.name} on {args.cores} cores:")
+    print(f"  1-core C substitute : {row.seq_cycles:>12,} cycles")
+    print(f"  1-core Bamboo       : {row.one_core_cycles:>12,} cycles")
+    print(f"  {args.cores}-core Bamboo      : {row.many_core_cycles:>12,} cycles")
+    print(f"  speedup vs Bamboo   : {row.speedup_vs_bamboo:.1f}x")
+    print(f"  speedup vs C        : {row.speedup_vs_seq:.1f}x")
+    print(f"  Bamboo overhead     : {row.overhead:.1%}")
+    print(f"  outputs match       : {row.outputs_match}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bamboo (PLDI 2010) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="analyze a .bam program")
+    p_compile.add_argument("file")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_seq = sub.add_parser("seq", help="run SeqMain.run sequentially")
+    p_seq.add_argument("file")
+    p_seq.add_argument("args", nargs="*")
+    p_seq.set_defaults(func=_cmd_seq)
+
+    p_run = sub.add_parser("run", help="profile, synthesize, and execute")
+    p_run.add_argument("file")
+    p_run.add_argument("args", nargs="*")
+    p_run.add_argument("--cores", type=int, default=8)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="run the scalar IR optimization passes",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cstg = sub.add_parser("cstg", help="print the annotated CSTG")
+    p_cstg.add_argument("file")
+    p_cstg.add_argument("args", nargs="*")
+    p_cstg.add_argument("--dot", action="store_true")
+    p_cstg.set_defaults(func=_cmd_cstg)
+
+    p_bench = sub.add_parser("bench", help="run a paper benchmark")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--cores", type=int, default=62)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (BambooError, RuntimeBambooError, ScheduleError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

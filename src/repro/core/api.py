@@ -1,0 +1,165 @@
+"""Public API of the Bamboo reproduction.
+
+Typical use::
+
+    from repro.core.api import compile_program, profile_program, run_layout
+    from repro.schedule.layout import Layout
+
+    compiled = compile_program(source)
+    profile = profile_program(compiled, args=["8"])          # 1-core bootstrap
+    layout, report = synthesize_layout(compiled, profile, num_cores=62)
+    result = run_layout(compiled, layout, args=["8"])        # many-core run
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.astg import ASTG, build_all_astgs
+from ..analysis.cstg import CSTG
+from ..analysis.disjoint import DisjointnessResult, analyze_disjointness
+from ..analysis.locks import LockPlan, build_lock_plan
+from ..ir import instructions as ir
+from ..ir.builder import lower_program
+from ..ir.verify import verify_program
+from ..lang import ast
+from ..lang.errors import SemanticError
+from ..lang.parser import parse_program
+from ..runtime.interp import Interpreter
+from ..runtime.machine import MachineConfig, MachineResult, ManyCoreMachine
+from ..runtime.objects import BArray, Heap
+from ..runtime.profiler import ProfileData
+from ..schedule.layout import Layout
+from ..sema.symbols import ProgramInfo
+from ..sema.typecheck import analyze
+
+
+@dataclass
+class CompiledProgram:
+    """A fully analyzed Bamboo program, ready to run or synthesize."""
+
+    source: str
+    program: ast.Program
+    info: ProgramInfo
+    ir_program: ir.IRProgram
+    astgs: Dict[str, ASTG]
+    cstg: CSTG
+    disjointness: DisjointnessResult
+    lock_plan: LockPlan
+
+    def task_names(self) -> List[str]:
+        return sorted(self.info.tasks)
+
+
+def compile_program(
+    source: str, filename: str = "<input>", optimize: bool = False
+) -> CompiledProgram:
+    """Runs the full front half of the compiler: parse, type-check, lower,
+    verify, dependence analysis, disjointness analysis, lock planning.
+
+    ``optimize=True`` additionally runs the scalar IR passes (constant
+    folding, copy propagation, DCE, jump threading); semantics are
+    preserved while cycle counts shrink slightly. The recorded experiment
+    numbers use the straight translation.
+    """
+    program = parse_program(source, filename)
+    info = analyze(program)
+    ir_program = lower_program(info)
+    verify_program(ir_program)
+    if optimize:
+        from ..ir.optimize import optimize_program
+
+        optimize_program(ir_program)
+    astgs = build_all_astgs(info, ir_program)
+    cstg = CSTG.build(info, ir_program, astgs)
+    disjointness = analyze_disjointness(info, ir_program)
+    lock_plan = build_lock_plan(info, disjointness)
+    return CompiledProgram(
+        source=source,
+        program=program,
+        info=info,
+        ir_program=ir_program,
+        astgs=astgs,
+        cstg=cstg,
+        disjointness=disjointness,
+        lock_plan=lock_plan,
+    )
+
+
+def single_core_layout(compiled: CompiledProgram) -> Layout:
+    return Layout.single_core(compiled.info.tasks)
+
+
+def run_layout(
+    compiled: CompiledProgram,
+    layout: Layout,
+    args: Sequence[str],
+    config: Optional[MachineConfig] = None,
+    collect_profile: bool = False,
+) -> MachineResult:
+    """Executes the program on the many-core machine under ``layout``."""
+    machine = ManyCoreMachine(
+        compiled, layout, config=config, collect_profile=collect_profile
+    )
+    return machine.run(args)
+
+
+def profile_program(
+    compiled: CompiledProgram,
+    args: Sequence[str],
+    layout: Optional[Layout] = None,
+) -> ProfileData:
+    """Collects the profile that bootstraps synthesis (single-core unless a
+    layout is given — the paper supports both, §4.3.1)."""
+    layout = layout or single_core_layout(compiled)
+    result = run_layout(compiled, layout, args, collect_profile=True)
+    assert result.profile is not None
+    return result.profile
+
+
+def annotated_cstg(compiled: CompiledProgram, profile: ProfileData) -> CSTG:
+    """A fresh CSTG carrying the given profile's Markov annotations."""
+    cstg = CSTG.build(compiled.info, compiled.ir_program, compiled.astgs, profile)
+    return cstg
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of running a sequential (non-task) entry method — the
+    stand-in for the paper's single-core C versions."""
+
+    cycles: int
+    stdout: str
+    value: object = None
+
+
+def run_sequential(
+    compiled: CompiledProgram,
+    args: Sequence[str],
+    entry_class: str = "SeqMain",
+    entry_method: str = "run",
+    bounds_checks: bool = False,
+) -> SequentialResult:
+    """Runs ``entry_class.entry_method(String[] args)`` directly on the
+    interpreter with **no task runtime** (no dispatch, locks, or flag
+    bookkeeping) — the baseline the paper's C versions provide."""
+    class_info = compiled.info.classes.get(entry_class)
+    if class_info is None:
+        raise SemanticError(f"no sequential entry class '{entry_class}'")
+    method = class_info.methods.get(entry_method)
+    if method is None:
+        raise SemanticError(
+            f"class '{entry_class}' has no method '{entry_method}'"
+        )
+    heap = Heap()
+    interp = Interpreter(
+        compiled.ir_program, compiled.info, heap, bounds_checks=bounds_checks
+    )
+    receiver = heap.new_object(entry_class, len(class_info.fields))
+    ctor = class_info.constructor
+    if ctor is not None and not ctor.param_types:
+        interp.run_method(ctor.qualified_name, [receiver])
+    argv = BArray(elem_type="String", values=list(args))
+    value, cycles = interp.run_method(method.qualified_name, [receiver, argv])
+    return SequentialResult(cycles=cycles, stdout=interp.output(), value=value)

@@ -1,0 +1,82 @@
+"""The full synthesis pipeline: profile → CSTG → rules → DSA → layout.
+
+This mirrors the staged strategy of paper §4: dependence and disjointness
+analysis happen at :func:`repro.core.api.compile_program` time; this module
+drives candidate generation, simulation-based evaluation, and optimization.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..runtime.profiler import ProfileData
+from ..schedule.anneal import AnnealConfig, AnnealResult, DirectedSimulatedAnnealing
+from ..schedule.coregroup import GroupGraph, build_group_graph
+from ..schedule.layout import Layout
+from ..schedule.rules import ReplicaSuggestion, suggest_replicas
+from .api import CompiledProgram, annotated_cstg
+
+
+@dataclass
+class SynthesisReport:
+    """Everything the synthesis run learned, for logs and experiments."""
+
+    layout: Layout
+    estimated_cycles: int
+    evaluations: int
+    iterations: int
+    wall_seconds: float
+    group_graph: GroupGraph
+    suggestions: Dict[int, ReplicaSuggestion]
+    history: List[int] = field(default_factory=list)
+
+
+def synthesize_layout(
+    compiled: CompiledProgram,
+    profile: ProfileData,
+    num_cores: int,
+    seed: int = 0,
+    config: Optional[AnnealConfig] = None,
+    hints: Optional[Dict[str, str]] = None,
+    mesh_width: Optional[int] = None,
+    core_speeds: Optional[Dict[int, float]] = None,
+) -> SynthesisReport:
+    """Synthesizes an optimized layout for ``num_cores`` cores.
+
+    Runs candidate generation seeded by the transformation rules, then the
+    directed-simulated-annealing search evaluated by the scheduling
+    simulator. ``core_speeds`` enables the heterogeneous-cores extension:
+    the search sees per-core speed factors and steers work accordingly.
+    """
+    started = _time.perf_counter()
+    cstg = annotated_cstg(compiled, profile)
+    graph = build_group_graph(compiled.info, cstg, profile)
+    suggestions = suggest_replicas(compiled.info, graph, profile, num_cores)
+    if config is None:
+        config = AnnealConfig(seed=seed)
+    else:
+        config.seed = seed
+    dsa = DirectedSimulatedAnnealing(
+        compiled,
+        profile,
+        num_cores,
+        config=config,
+        hints=hints,
+        group_graph=graph,
+        mesh_width=mesh_width,
+        core_speeds=core_speeds,
+    )
+    result: AnnealResult = dsa.run()
+    wall = _time.perf_counter() - started
+    return SynthesisReport(
+        layout=result.best_layout,
+        estimated_cycles=result.best_cycles,
+        evaluations=result.evaluations,
+        iterations=result.iterations,
+        wall_seconds=wall,
+        group_graph=graph,
+        suggestions=suggestions,
+        history=result.history,
+    )

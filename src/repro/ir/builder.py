@@ -1,0 +1,526 @@
+"""Lowering from the type-checked AST to the register IR.
+
+The builder consumes the annotations left by :mod:`repro.sema.typecheck`
+(``.ty``, ``.resolved``, ``.call_kind`` …) so it performs no name resolution
+of its own. Short-circuit boolean operators lower to control flow; numeric
+promotions lower to explicit ``i2f`` conversions; string concatenation lowers
+to ``tostr`` + ``concat``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.errors import LoweringError
+from ..sema import builtins, types as ty
+from ..sema.symbols import MethodInfo, ProgramInfo, TaskInfo
+from . import instructions as ir
+
+
+
+def _is_linkable_ref(expr_type: ty.Type) -> bool:
+    """Whether values of this type can link heap regions (class instances
+    and arrays; strings are immutable leaves and cannot)."""
+    return isinstance(expr_type, (ty.ClassType, ty.ArrayType))
+
+
+class _FunctionBuilder:
+    def __init__(self, program_builder: "ProgramBuilder", name: str, kind: str):
+        self.pb = program_builder
+        self.func = ir.IRFunction(
+            name=name, kind=kind, param_names=[], num_regs=0, blocks=[], entry=0
+        )
+        self.current: Optional[ir.BasicBlock] = None
+        self.scopes: List[Dict[str, ir.Reg]] = [{}]
+        self.loop_stack: List[Tuple[int, int]] = []  # (continue target, break target)
+        self.next_exit_id = 1
+        self.task_params: List[str] = []
+        self.tag_types: Dict[int, str] = {}  # tag var reg index -> tag type
+        self._new_block_as_current()
+        self.func.entry = self.current.block_id
+
+    # -- plumbing -----------------------------------------------------------
+
+    def new_reg(self) -> ir.Reg:
+        reg = ir.Reg(self.func.num_regs)
+        self.func.num_regs += 1
+        return reg
+
+    def new_block(self) -> ir.BasicBlock:
+        block = ir.BasicBlock(block_id=len(self.func.blocks))
+        self.func.blocks.append(block)
+        return block
+
+    def _new_block_as_current(self) -> ir.BasicBlock:
+        block = self.new_block()
+        self.current = block
+        return block
+
+    def set_current(self, block: ir.BasicBlock) -> None:
+        self.current = block
+
+    def emit(self, instr: ir.Instr) -> None:
+        if self.current.terminator is None:
+            self.current.instructions.append(instr)
+        # Unreachable code after a terminator is silently dropped.
+
+    def terminated(self) -> bool:
+        return self.current.terminator is not None
+
+    def declare(self, name: str) -> ir.Reg:
+        reg = self.new_reg()
+        self.scopes[-1][name] = reg
+        return reg
+
+    def lookup(self, name: str) -> ir.Reg:
+        for frame in reversed(self.scopes):
+            if name in frame:
+                return frame[name]
+        raise LoweringError(f"unbound variable '{name}' during lowering")
+
+    def push_scope(self):
+        self.scopes.append({})
+
+    def pop_scope(self):
+        self.scopes.pop()
+
+    # -- coercions ----------------------------------------------------------
+
+    def coerce(self, operand: ir.Operand, src: ty.Type, dst: ty.Type) -> ir.Operand:
+        if src == dst:
+            return operand
+        if src == ty.INT and dst == ty.FLOAT:
+            out = self.new_reg()
+            self.emit(ir.UnOp(out, "i2f", operand))
+            return out
+        if src == ty.FLOAT and dst == ty.INT:
+            out = self.new_reg()
+            self.emit(ir.UnOp(out, "f2i", operand))
+            return out
+        # Reference widening (null -> ref) needs no code.
+        return operand
+
+    def to_string(self, operand: ir.Operand, src: ty.Type) -> ir.Operand:
+        if src == ty.STRING:
+            return operand
+        out = self.new_reg()
+        kind = "float" if src == ty.FLOAT else ("bool" if src == ty.BOOL else "int")
+        self.emit(ir.UnOp(out, "tostr", operand, kind=kind))
+        return out
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> ir.Operand:
+        if isinstance(expr, ast.IntLit):
+            return ir.Const(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return ir.Const(float(expr.value))
+        if isinstance(expr, ast.BoolLit):
+            return ir.Const(expr.value)
+        if isinstance(expr, ast.StringLit):
+            return ir.Const(expr.value)
+        if isinstance(expr, ast.NullLit):
+            return ir.Const(None)
+        if isinstance(expr, ast.VarRef):
+            return self.lookup(expr.name)
+        if isinstance(expr, ast.ThisRef):
+            return self.lookup("this")
+        if isinstance(expr, ast.FieldAccess):
+            return self._lower_field_access(expr)
+        if isinstance(expr, ast.ArrayIndex):
+            array = self.lower_expr(expr.array)
+            index = self.lower_expr(expr.index)
+            dst = self.new_reg()
+            self.emit(ir.ALoad(dst, array, index, is_ref=_is_linkable_ref(expr.ty)))
+            return dst
+        if isinstance(expr, ast.MethodCall):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.NewObject):
+            return self._lower_new_object(expr)
+        if isinstance(expr, ast.NewArray):
+            dims = [self.lower_expr(d) for d in expr.dims]
+            dst = self.new_reg()
+            self.emit(
+                ir.NewArr(dst, str(expr.elem_type.name), dims, expr.extra_dims)
+            )
+            return dst
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Unary):
+            operand = self.lower_expr(expr.operand)
+            dst = self.new_reg()
+            if expr.op == "-":
+                kind = "float" if expr.ty == ty.FLOAT else "int"
+                self.emit(ir.UnOp(dst, "neg", operand, kind=kind))
+            else:
+                self.emit(ir.UnOp(dst, "not", operand, kind="bool"))
+            return dst
+        if isinstance(expr, ast.Cast):
+            operand = self.lower_expr(expr.operand)
+            return self.coerce(operand, expr.operand.ty, expr.ty)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+    def _lower_field_access(self, expr: ast.FieldAccess) -> ir.Operand:
+        receiver = self.lower_expr(expr.receiver)
+        dst = self.new_reg()
+        if getattr(expr, "is_array_length", False):
+            self.emit(ir.ArrLen(dst, receiver))
+        else:
+            field_info = expr.resolved_field
+            self.emit(
+                ir.Load(
+                    dst,
+                    receiver,
+                    field_info.name,
+                    field_info.index,
+                    is_ref=_is_linkable_ref(field_info.type),
+                )
+            )
+        return dst
+
+    def _lower_call(self, expr: ast.MethodCall) -> ir.Operand:
+        kind = expr.call_kind
+        if kind == "builtin":
+            fn: builtins.BuiltinFunction = expr.resolved
+            args = []
+            for arg, param_type in zip(expr.args, fn.param_types):
+                operand = self.lower_expr(arg)
+                args.append(self.coerce(operand, arg.ty, param_type))
+            dst = self.new_reg() if fn.return_type != ty.VOID else None
+            self.emit(ir.CallBuiltin(dst, fn.key, args))
+            return dst if dst is not None else ir.Const(None)
+        if kind == "string":
+            fn = expr.resolved
+            receiver = self.lower_expr(expr.receiver)
+            args = [receiver]
+            for arg, param_type in zip(expr.args, fn.param_types[1:]):
+                operand = self.lower_expr(arg)
+                args.append(self.coerce(operand, arg.ty, param_type))
+            dst = self.new_reg() if fn.return_type != ty.VOID else None
+            self.emit(ir.CallBuiltin(dst, fn.key, args))
+            return dst if dst is not None else ir.Const(None)
+        # User method.
+        method: MethodInfo = expr.resolved
+        if getattr(expr, "implicit_this", False) or expr.receiver is None:
+            receiver: ir.Operand = self.lookup("this")
+        else:
+            receiver = self.lower_expr(expr.receiver)
+        args = [receiver]
+        for arg, param_type in zip(expr.args, method.param_types):
+            operand = self.lower_expr(arg)
+            args.append(self.coerce(operand, arg.ty, param_type))
+        dst = self.new_reg() if method.return_type != ty.VOID else None
+        self.emit(ir.Call(dst, method.qualified_name, args))
+        return dst if dst is not None else ir.Const(None)
+
+    def _lower_new_object(self, expr: ast.NewObject) -> ir.Operand:
+        class_info = expr.resolved_class
+        tag_regs = [self.lookup(a.tag_var) for a in expr.tag_inits]
+        site = self.pb.new_alloc_site(
+            class_name=class_info.name,
+            flag_inits={a.flag: a.value for a in expr.flag_inits},
+            tag_types=[self.tag_types.get(r.index, "?") for r in tag_regs],
+            function=self.func.name,
+        )
+        dst = self.new_reg()
+        self.emit(ir.NewObj(dst, class_info.name, site.site_id))
+        for tag_reg in tag_regs:
+            self.emit(ir.BindTag(dst, tag_reg))
+        ctor = expr.resolved_ctor
+        if ctor is not None:
+            args: List[ir.Operand] = [dst]
+            for arg, param_type in zip(expr.args, ctor.param_types):
+                operand = self.lower_expr(arg)
+                args.append(self.coerce(operand, arg.ty, param_type))
+            self.emit(ir.Call(None, ctor.qualified_name, args))
+        return dst
+
+    def _lower_binary(self, expr: ast.Binary) -> ir.Operand:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        left_ty, right_ty = expr.left.ty, expr.right.ty
+        if expr.op == "+" and expr.ty == ty.STRING:
+            left = self.to_string(self.lower_expr(expr.left), left_ty)
+            right = self.to_string(self.lower_expr(expr.right), right_ty)
+            dst = self.new_reg()
+            self.emit(ir.BinOp(dst, "concat", left, right, kind="str"))
+            return dst
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        if left_ty.is_numeric() and right_ty.is_numeric():
+            operand_ty = ty.FLOAT if ty.FLOAT in (left_ty, right_ty) else ty.INT
+            left = self.coerce(left, left_ty, operand_ty)
+            right = self.coerce(right, right_ty, operand_ty)
+            kind = "float" if operand_ty == ty.FLOAT else "int"
+        elif left_ty == ty.STRING and right_ty == ty.STRING:
+            kind = "str"
+        else:
+            kind = "ref"
+        dst = self.new_reg()
+        self.emit(ir.BinOp(dst, expr.op, left, right, kind=kind))
+        return dst
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> ir.Operand:
+        result = self.new_reg()
+        left = self.lower_expr(expr.left)
+        self.emit(ir.Move(result, left))
+        rhs_block = self.new_block()
+        join_block = self.new_block()
+        if expr.op == "&&":
+            self.emit(ir.Branch(result, rhs_block.block_id, join_block.block_id))
+        else:
+            self.emit(ir.Branch(result, join_block.block_id, rhs_block.block_id))
+        self.set_current(rhs_block)
+        right = self.lower_expr(expr.right)
+        self.emit(ir.Move(result, right))
+        self.emit(ir.Jump(join_block.block_id))
+        self.set_current(join_block)
+        return result
+
+    # -- statements ------------------------------------------------------------
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.push_scope()
+            for inner in stmt.statements:
+                if self.terminated():
+                    break
+                self.lower_stmt(inner)
+            self.pop_scope()
+        elif isinstance(stmt, ast.VarDeclStmt):
+            value: Optional[ir.Operand] = None
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+                declared = self.pb.info.resolve(stmt.var_type, stmt.location)
+                value = self.coerce(value, stmt.init.ty, declared)
+            reg = self.declare(stmt.name)
+            if value is not None:
+                self.emit(ir.Move(reg, value))
+            else:
+                self.emit(ir.Move(reg, ir.Const(_default_value(stmt.var_type))))
+        elif isinstance(stmt, ast.TagDeclStmt):
+            reg = self.declare(stmt.name)
+            self.emit(ir.NewTag(reg, stmt.tag_type))
+            self.tag_types[reg.index] = stmt.tag_type
+        elif isinstance(stmt, ast.AssignStmt):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.emit(ir.Ret(None))
+            else:
+                value = self.lower_expr(stmt.value)
+                value = self.coerce(value, stmt.value.ty, self.pb.current_return_type)
+                self.emit(ir.Ret(value))
+        elif isinstance(stmt, ast.BreakStmt):
+            self.emit(ir.Jump(self.loop_stack[-1][1]))
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.emit(ir.Jump(self.loop_stack[-1][0]))
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.TaskExitStmt):
+            self._lower_taskexit(stmt)
+        else:
+            raise LoweringError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _lower_assign(self, stmt: ast.AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            value = self.lower_expr(stmt.value)
+            value = self.coerce(value, stmt.value.ty, target.ty)
+            self.emit(ir.Move(self.lookup(target.name), value))
+        elif isinstance(target, ast.FieldAccess):
+            receiver = self.lower_expr(target.receiver)
+            value = self.lower_expr(stmt.value)
+            value = self.coerce(value, stmt.value.ty, target.ty)
+            field_info = target.resolved_field
+            self.emit(
+                ir.Store(
+                    receiver,
+                    field_info.name,
+                    field_info.index,
+                    value,
+                    is_ref=_is_linkable_ref(field_info.type),
+                )
+            )
+        elif isinstance(target, ast.ArrayIndex):
+            array = self.lower_expr(target.array)
+            index = self.lower_expr(target.index)
+            value = self.lower_expr(stmt.value)
+            value = self.coerce(value, stmt.value.ty, target.ty)
+            self.emit(ir.AStore(array, index, value, is_ref=_is_linkable_ref(target.ty)))
+        else:  # pragma: no cover - sema invariant
+            raise LoweringError("invalid assignment target")
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.new_block()
+        else_block = self.new_block() if stmt.else_branch is not None else None
+        join_block = self.new_block()
+        false_target = else_block.block_id if else_block else join_block.block_id
+        self.emit(ir.Branch(cond, then_block.block_id, false_target))
+        self.set_current(then_block)
+        self.lower_stmt(stmt.then_branch)
+        self.emit(ir.Jump(join_block.block_id))
+        if else_block is not None:
+            self.set_current(else_block)
+            self.lower_stmt(stmt.else_branch)
+            self.emit(ir.Jump(join_block.block_id))
+        self.set_current(join_block)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        head = self.new_block()
+        body = self.new_block()
+        exit_block = self.new_block()
+        self.emit(ir.Jump(head.block_id))
+        self.set_current(head)
+        cond = self.lower_expr(stmt.cond)
+        self.emit(ir.Branch(cond, body.block_id, exit_block.block_id))
+        self.set_current(body)
+        self.loop_stack.append((head.block_id, exit_block.block_id))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit(ir.Jump(head.block_id))
+        self.set_current(exit_block)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        head = self.new_block()
+        body = self.new_block()
+        update_block = self.new_block()
+        exit_block = self.new_block()
+        self.emit(ir.Jump(head.block_id))
+        self.set_current(head)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            self.emit(ir.Branch(cond, body.block_id, exit_block.block_id))
+        else:
+            self.emit(ir.Jump(body.block_id))
+        self.set_current(body)
+        self.loop_stack.append((update_block.block_id, exit_block.block_id))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit(ir.Jump(update_block.block_id))
+        self.set_current(update_block)
+        if stmt.update is not None:
+            self.lower_stmt(stmt.update)
+        self.emit(ir.Jump(head.block_id))
+        self.set_current(exit_block)
+        self.pop_scope()
+
+    def _lower_taskexit(self, stmt: ast.TaskExitStmt) -> None:
+        exit_id = self.next_exit_id
+        self.next_exit_id += 1
+        spec = ir.ExitSpec(exit_id=exit_id)
+        for param_name, actions in stmt.actions:
+            param_index = self.task_params.index(param_name)
+            for action in actions:
+                if isinstance(action, ast.FlagAction):
+                    spec.flag_updates.setdefault(param_index, {})[
+                        action.flag
+                    ] = action.value
+                else:
+                    tag_reg = self.lookup(action.tag_var)
+                    spec.tag_updates.setdefault(param_index, []).append(
+                        ir.TagExitAction(
+                            op=action.op,
+                            tag_reg=tag_reg,
+                            tag_type=self.tag_types.get(tag_reg.index, "?"),
+                        )
+                    )
+        self.func.exits[exit_id] = spec
+        self.emit(ir.Exit(exit_id))
+
+
+def _default_value(type_node: ast.TypeNode):
+    if type_node.dims:
+        return None
+    if type_node.name == "int":
+        return 0
+    if type_node.name == "float":
+        return 0.0
+    if type_node.name == "boolean":
+        return False
+    return None
+
+
+class ProgramBuilder:
+    """Lowers a whole type-checked program to :class:`ir.IRProgram`."""
+
+    def __init__(self, info: ProgramInfo):
+        self.info = info
+        self.ir_program = ir.IRProgram()
+        self._next_site_id = 0
+        self.current_return_type: ty.Type = ty.VOID
+
+    def new_alloc_site(
+        self, class_name: str, flag_inits, tag_types: List[str], function: str
+    ) -> ir.AllocSite:
+        site = ir.AllocSite(
+            site_id=self._next_site_id,
+            class_name=class_name,
+            flag_inits=dict(flag_inits),
+            tag_types=list(tag_types),
+            function=function,
+        )
+        self._next_site_id += 1
+        self.ir_program.alloc_sites[site.site_id] = site
+        return site
+
+    def build(self) -> ir.IRProgram:
+        for class_info in self.info.classes.values():
+            methods = list(class_info.methods.values())
+            if class_info.constructor is not None:
+                methods.append(class_info.constructor)
+            for method in methods:
+                func = self._build_method(method)
+                self.ir_program.methods[func.name] = func
+        for task_info in self.info.tasks.values():
+            func = self._build_task(task_info)
+            self.ir_program.tasks[func.name] = func
+        return self.ir_program
+
+    def _build_method(self, method: MethodInfo) -> ir.IRFunction:
+        kind = "constructor" if method.decl.is_constructor else "method"
+        fb = _FunctionBuilder(self, method.qualified_name, kind)
+        self.current_return_type = method.return_type
+        fb.declare("this")
+        fb.func.param_names.append("this")
+        for param in method.decl.params:
+            fb.declare(param.name)
+            fb.func.param_names.append(param.name)
+        fb.lower_stmt(method.decl.body)
+        if not fb.terminated():
+            if method.return_type == ty.VOID:
+                fb.emit(ir.Ret(None))
+            else:
+                fb.emit(ir.Trap(f"missing return in {method.qualified_name}"))
+        fb.func.return_void = method.return_type == ty.VOID
+        return fb.func
+
+    def _build_task(self, task_info: TaskInfo) -> ir.IRFunction:
+        fb = _FunctionBuilder(self, task_info.name, "task")
+        self.current_return_type = ty.VOID
+        for param in task_info.decl.params:
+            fb.declare(param.name)
+            fb.func.param_names.append(param.name)
+            fb.task_params.append(param.name)
+        fb.lower_stmt(task_info.decl.body)
+        if not fb.terminated():
+            # Implicit exit point 0: leave the task without changing state.
+            fb.func.exits.setdefault(0, ir.ExitSpec(exit_id=0))
+            fb.emit(ir.Exit(0))
+        return fb.func
+
+
+def lower_program(info: ProgramInfo) -> ir.IRProgram:
+    """Lowers a type-checked program to IR."""
+    return ProgramBuilder(info).build()

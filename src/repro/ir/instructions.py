@@ -1,0 +1,464 @@
+"""Register-based intermediate representation for Bamboo bodies.
+
+Each task, method, and constructor lowers to an :class:`IRFunction`: a list
+of basic blocks over an infinite register file. The IR is the single
+representation shared by the interpreter (with the cycle cost model), the
+disjointness analysis, and the dependence analysis (via the per-task exit
+table and allocation-site table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate operand (int, float, bool, str, or None for null)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"#{self.value!r}"
+
+
+Operand = Union[Reg, Const]
+
+
+class Instr:
+    """Base class for IR instructions."""
+
+    def operands(self) -> List[Operand]:
+        return []
+
+    def dest(self) -> Optional[Reg]:
+        return None
+
+
+@dataclass
+class Move(Instr):
+    dst: Reg
+    src: Operand
+
+    def operands(self):
+        return [self.src]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class BinOp(Instr):
+    """``dst = a op b``.
+
+    ``op`` is one of the arithmetic/comparison operators plus:
+    ``concat`` (string concatenation), using already-stringified operands.
+    ``kind`` records the operand domain (``int``/``float``/``str``/``ref``)
+    for cost accounting and semantics (e.g. int vs float division).
+    """
+
+    dst: Reg
+    op: str
+    a: Operand
+    b: Operand
+    kind: str = "int"
+
+    def operands(self):
+        return [self.a, self.b]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.a} {self.op}.{self.kind} {self.b}"
+
+
+@dataclass
+class UnOp(Instr):
+    """``dst = op a``; op in {neg, not, i2f, f2i, tostr}."""
+
+    dst: Reg
+    op: str
+    a: Operand
+    kind: str = "int"
+
+    def operands(self):
+        return [self.a]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op}.{self.kind} {self.a}"
+
+
+@dataclass
+class Load(Instr):
+    """``dst = obj.field``. ``is_ref`` marks reference-typed results (used
+    by the disjointness analysis)."""
+
+    dst: Reg
+    obj: Operand
+    field_name: str
+    field_index: int
+    is_ref: bool = True
+
+    def operands(self):
+        return [self.obj]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.obj}.{self.field_name}"
+
+
+@dataclass
+class Store(Instr):
+    """``obj.field = src``. ``is_ref`` marks reference-typed values."""
+
+    obj: Operand
+    field_name: str
+    field_index: int
+    src: Operand
+    is_ref: bool = True
+
+    def operands(self):
+        return [self.obj, self.src]
+
+    def __repr__(self):
+        return f"{self.obj}.{self.field_name} = {self.src}"
+
+
+@dataclass
+class ALoad(Instr):
+    dst: Reg
+    array: Operand
+    index: Operand
+    is_ref: bool = True
+
+    def operands(self):
+        return [self.array, self.index]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.array}[{self.index}]"
+
+
+@dataclass
+class AStore(Instr):
+    array: Operand
+    index: Operand
+    src: Operand
+    is_ref: bool = True
+
+    def operands(self):
+        return [self.array, self.index, self.src]
+
+    def __repr__(self):
+        return f"{self.array}[{self.index}] = {self.src}"
+
+
+@dataclass
+class ArrLen(Instr):
+    dst: Reg
+    array: Operand
+
+    def operands(self):
+        return [self.array]
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = len({self.array})"
+
+
+@dataclass
+class NewObj(Instr):
+    """Allocates an instance of ``class_name``.
+
+    ``site_id`` indexes the program-wide allocation-site table, which records
+    the initial abstract state (flag/tag initializers) for dependence
+    analysis and runtime flag setup. The constructor call, if any, is a
+    separate :class:`Call` emitted immediately after.
+    """
+
+    dst: Reg
+    class_name: str
+    site_id: int
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = new {self.class_name} @site{self.site_id}"
+
+
+@dataclass
+class NewArr(Instr):
+    dst: Reg
+    elem_type: str
+    dims: List[Operand] = field(default_factory=list)
+    extra_dims: int = 0
+
+    def operands(self):
+        return list(self.dims)
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        dims = "".join(f"[{d}]" for d in self.dims) + "[]" * self.extra_dims
+        return f"{self.dst} = new {self.elem_type}{dims}"
+
+
+@dataclass
+class Call(Instr):
+    """Direct call to a user method. ``args[0]`` is the receiver."""
+
+    dst: Optional[Reg]
+    target: str  # qualified name, e.g. "Text.process" or "Text.<init>"
+    args: List[Operand] = field(default_factory=list)
+
+    def operands(self):
+        return list(self.args)
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        args = ", ".join(map(repr, self.args))
+        dst = f"{self.dst} = " if self.dst else ""
+        return f"{dst}call {self.target}({args})"
+
+
+@dataclass
+class CallBuiltin(Instr):
+    """Call to a builtin (``key`` is e.g. ``Math.sqrt`` or ``String#.length``)."""
+
+    dst: Optional[Reg]
+    key: str
+    args: List[Operand] = field(default_factory=list)
+
+    def operands(self):
+        return list(self.args)
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        args = ", ".join(map(repr, self.args))
+        dst = f"{self.dst} = " if self.dst else ""
+        return f"{dst}builtin {self.key}({args})"
+
+
+@dataclass
+class NewTag(Instr):
+    dst: Reg
+    tag_type: str
+
+    def dest(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = new tag({self.tag_type})"
+
+
+@dataclass
+class BindTag(Instr):
+    """Binds the tag instance in ``tag`` to the object in ``obj`` (used for
+    allocation-site ``add t`` initializers)."""
+
+    obj: Operand
+    tag: Operand
+
+    def operands(self):
+        return [self.obj, self.tag]
+
+    def __repr__(self):
+        return f"bindtag {self.obj} <- {self.tag}"
+
+
+@dataclass
+class Jump(Instr):
+    target: int
+
+    def __repr__(self):
+        return f"jump B{self.target}"
+
+
+@dataclass
+class Branch(Instr):
+    cond: Operand
+    true_target: int
+    false_target: int
+
+    def operands(self):
+        return [self.cond]
+
+    def __repr__(self):
+        return f"branch {self.cond} ? B{self.true_target} : B{self.false_target}"
+
+
+@dataclass
+class Ret(Instr):
+    src: Optional[Operand] = None
+
+    def operands(self):
+        return [self.src] if self.src is not None else []
+
+    def __repr__(self):
+        return f"ret {self.src}" if self.src is not None else "ret"
+
+
+@dataclass
+class Exit(Instr):
+    """Task exit through exit point ``exit_id`` (see the function's exit
+    table for the flag/tag actions this exit applies)."""
+
+    exit_id: int
+
+    def __repr__(self):
+        return f"taskexit #{self.exit_id}"
+
+
+@dataclass
+class Trap(Instr):
+    """Runtime error (e.g. fell off the end of a non-void method)."""
+
+    message: str
+
+    def __repr__(self):
+        return f"trap {self.message!r}"
+
+
+TERMINATORS = (Jump, Branch, Ret, Exit, Trap)
+
+
+@dataclass
+class BasicBlock:
+    block_id: int
+    instructions: List[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instructions and isinstance(self.instructions[-1], TERMINATORS):
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List[int]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            return [term.true_target, term.false_target]
+        return []
+
+
+@dataclass
+class TagExitAction:
+    """A taskexit tag action: add/clear the tag held by register ``tag_reg``
+    on the given parameter. ``tag_type`` is the static type of that tag
+    variable (used by the dependence analysis)."""
+
+    op: str  # "add" | "clear"
+    tag_reg: Reg
+    tag_type: str = ""
+
+
+@dataclass
+class ExitSpec:
+    """Flag/tag effects of one task exit point.
+
+    ``flag_updates`` maps parameter index to {flag_name: bool};
+    ``tag_updates`` maps parameter index to a list of TagExitActions.
+    """
+
+    exit_id: int
+    flag_updates: Dict[int, Dict[str, bool]] = field(default_factory=dict)
+    tag_updates: Dict[int, List[TagExitAction]] = field(default_factory=dict)
+
+
+@dataclass
+class AllocSite:
+    """One ``new C(...){...}`` occurrence."""
+
+    site_id: int
+    class_name: str
+    flag_inits: Dict[str, bool] = field(default_factory=dict)
+    #: Static tag types bound at this site by ``add t`` initializers.
+    tag_types: List[str] = field(default_factory=list)
+    function: str = ""  # qualified name of the enclosing function
+
+    @property
+    def has_tag_inits(self) -> bool:
+        return bool(self.tag_types)
+
+
+@dataclass
+class IRFunction:
+    """A lowered task or method body."""
+
+    name: str  # qualified: "taskname" for tasks, "Class.method" for methods
+    kind: str  # "task" | "method" | "constructor"
+    param_names: List[str]
+    num_regs: int
+    blocks: List[BasicBlock]
+    entry: int
+    exits: Dict[int, ExitSpec] = field(default_factory=dict)  # tasks only
+    return_void: bool = True
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def all_instructions(self):
+        for block in self.blocks:
+            for instr in block.instructions:
+                yield block, instr
+
+    def format(self) -> str:
+        lines = [f"{self.kind} {self.name}({', '.join(self.param_names)}) "
+                 f"regs={self.num_regs} entry=B{self.entry}"]
+        for block in self.blocks:
+            lines.append(f"  B{block.block_id}:")
+            for instr in block.instructions:
+                lines.append(f"    {instr!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRProgram:
+    """All lowered functions plus the program-wide allocation-site table."""
+
+    tasks: Dict[str, IRFunction] = field(default_factory=dict)
+    methods: Dict[str, IRFunction] = field(default_factory=dict)  # qualified name
+    alloc_sites: Dict[int, AllocSite] = field(default_factory=dict)
+
+    def function(self, qualified_name: str) -> IRFunction:
+        if qualified_name in self.methods:
+            return self.methods[qualified_name]
+        return self.tasks[qualified_name]
+
+    def sites_in(self, function_name: str) -> List[AllocSite]:
+        return [
+            site
+            for site in self.alloc_sites.values()
+            if site.function == function_name
+        ]

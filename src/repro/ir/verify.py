@@ -1,0 +1,84 @@
+"""Structural verifier for lowered IR.
+
+Run after lowering (and in tests) to catch builder bugs early: every block
+must end in a terminator, jump targets must exist, register indices must be
+in range, ``Exit`` may only appear in tasks, and every syntactic exit spec
+must be attached to the task's exit table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.errors import LoweringError
+from . import instructions as ir
+
+
+def verify_function(func: ir.IRFunction) -> List[str]:
+    """Returns a list of problems (empty when the function is well-formed)."""
+    problems: List[str] = []
+    num_blocks = len(func.blocks)
+    if not (0 <= func.entry < num_blocks):
+        problems.append(f"{func.name}: entry block B{func.entry} out of range")
+        return problems
+    for block in func.blocks:
+        if block.terminator is None:
+            problems.append(
+                f"{func.name}: block B{block.block_id} lacks a terminator"
+            )
+        for position, instr in enumerate(block.instructions):
+            is_last = position == len(block.instructions) - 1
+            if isinstance(instr, ir.TERMINATORS) and not is_last:
+                problems.append(
+                    f"{func.name}: terminator mid-block in B{block.block_id}"
+                )
+            for operand in instr.operands():
+                if isinstance(operand, ir.Reg) and not (
+                    0 <= operand.index < func.num_regs
+                ):
+                    problems.append(
+                        f"{func.name}: register {operand} out of range in "
+                        f"B{block.block_id}"
+                    )
+            dest = instr.dest()
+            if dest is not None and not (0 <= dest.index < func.num_regs):
+                problems.append(
+                    f"{func.name}: destination {dest} out of range in "
+                    f"B{block.block_id}"
+                )
+            if isinstance(instr, ir.Jump) and not (0 <= instr.target < num_blocks):
+                problems.append(
+                    f"{func.name}: jump to missing block B{instr.target}"
+                )
+            if isinstance(instr, ir.Branch):
+                for target in (instr.true_target, instr.false_target):
+                    if not (0 <= target < num_blocks):
+                        problems.append(
+                            f"{func.name}: branch to missing block B{target}"
+                        )
+            if isinstance(instr, ir.Exit):
+                if func.kind != "task":
+                    problems.append(f"{func.name}: taskexit in a non-task")
+                elif instr.exit_id not in func.exits:
+                    problems.append(
+                        f"{func.name}: exit #{instr.exit_id} missing from the "
+                        "exit table"
+                    )
+            if isinstance(instr, ir.Ret) and func.kind == "task":
+                problems.append(f"{func.name}: return inside a task")
+    return problems
+
+
+def verify_program(program: ir.IRProgram) -> None:
+    """Raises :class:`LoweringError` if any function is malformed."""
+    problems: List[str] = []
+    for func in list(program.methods.values()) + list(program.tasks.values()):
+        problems.extend(verify_function(func))
+    for site in program.alloc_sites.values():
+        if site.function not in program.methods and site.function not in program.tasks:
+            problems.append(
+                f"allocation site {site.site_id} references unknown function "
+                f"'{site.function}'"
+            )
+    if problems:
+        raise LoweringError("; ".join(problems))

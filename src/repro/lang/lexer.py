@@ -1,0 +1,209 @@
+"""Hand-written lexer for the Bamboo language.
+
+The lexer converts source text into a list of :class:`~repro.lang.tokens.Token`
+objects. It handles ``//`` line comments, ``/* */`` block comments, decimal
+integer and floating point literals, double-quoted string literals with the
+usual escape sequences, and the full operator set of the Java-like subset.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+    "0": "\0",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    (":=", TokenKind.FLAG_ASSIGN),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AMPAMP),
+    ("||", TokenKind.PIPEPIPE),
+    ("++", TokenKind.PLUSPLUS),
+    ("--", TokenKind.MINUSMINUS),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    (".", TokenKind.DOT),
+    (":", TokenKind.COLON),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("!", TokenKind.NOT),
+]
+
+
+class Lexer:
+    """Tokenizes a single Bamboo source buffer."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skips whitespace and comments."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        start = self._location()
+        begin = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[begin : self.pos]
+        # Accept a trailing float suffix as in Java source.
+        if self._peek() in ("f", "F", "d", "D"):
+            is_float = True
+            self._advance()
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, float(text), start)
+        return Token(TokenKind.INT_LIT, int(text), start)
+
+    def _lex_string(self) -> Token:
+        start = self._location()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", start)
+            if ch == "\n":
+                raise LexError("newline in string literal", start)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                esc = self._peek(1)
+                if esc not in _ESCAPES:
+                    raise LexError(f"unknown escape sequence '\\{esc}'", self._location())
+                chars.append(_ESCAPES[esc])
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokenKind.STRING_LIT, "".join(chars), start)
+
+    def _lex_word(self) -> Token:
+        start = self._location()
+        begin = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[begin : self.pos]
+        kind = KEYWORDS.get(text)
+        if kind is None:
+            return Token(TokenKind.IDENT, text, start)
+        return Token(kind, text, start)
+
+    def next_token(self) -> Token:
+        """Returns the next token, or an EOF token at end of input."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, None, self._location())
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        for spelling, kind in _OPERATORS:
+            if self.source.startswith(spelling, self.pos):
+                start = self._location()
+                self._advance(len(spelling))
+                return Token(kind, spelling, start)
+        raise LexError(f"unexpected character {ch!r}", self._location())
+
+    def tokenize(self) -> List[Token]:
+        """Tokenizes the whole buffer, including the trailing EOF token."""
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Convenience wrapper: tokenizes ``source`` in one call."""
+    return Lexer(source, filename).tokenize()

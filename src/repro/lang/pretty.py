@@ -1,0 +1,170 @@
+"""Pretty-printer for Bamboo ASTs.
+
+Produces canonical, re-parseable source text. Used by tests to verify the
+parse → print → parse round-trip and by the visualization tools to show
+task declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "    "
+
+
+def _escape_string(value: str) -> str:
+    out = value.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+    return f'"{out}"'
+
+
+def format_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLit):
+        return _escape_string(expr.value)
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.ThisRef):
+        return "this"
+    if isinstance(expr, ast.FieldAccess):
+        return f"{format_expr(expr.receiver)}.{expr.field_name}"
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{format_expr(expr.array)}[{format_expr(expr.index)}]"
+    if isinstance(expr, ast.ArrayLength):
+        return f"{format_expr(expr.array)}.length"
+    if isinstance(expr, ast.MethodCall):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        if expr.receiver is None:
+            return f"{expr.name}({args})"
+        return f"{format_expr(expr.receiver)}.{expr.name}({args})"
+    if isinstance(expr, ast.NewObject):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        text = f"new {expr.class_name}({args})"
+        actions: List[str] = [str(action) for action in expr.flag_inits]
+        actions += [str(action) for action in expr.tag_inits]
+        if actions:
+            text += "{" + ", ".join(actions) + "}"
+        return text
+    if isinstance(expr, ast.NewArray):
+        dims = "".join(f"[{format_expr(d)}]" for d in expr.dims)
+        dims += "[]" * expr.extra_dims
+        return f"new {expr.elem_type.name}{dims}"
+    if isinstance(expr, ast.Binary):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{format_expr(expr.operand)})"
+    if isinstance(expr, ast.Cast):
+        return f"(({expr.target}) {format_expr(expr.operand)})"
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def _format_taskexit(stmt: ast.TaskExitStmt) -> str:
+    groups = []
+    for param, actions in stmt.actions:
+        rendered = ", ".join(str(action) for action in actions)
+        groups.append(f"{param}: {rendered}")
+    return "taskexit(" + "; ".join(groups) + ");"
+
+
+def format_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for inner in stmt.statements:
+            lines.append(format_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.VarDeclStmt):
+        init = f" = {format_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{stmt.var_type} {stmt.name}{init};"
+    if isinstance(stmt, ast.TagDeclStmt):
+        return f"{pad}tag {stmt.name} = new tag({stmt.tag_type});"
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{pad}{format_expr(stmt.target)} = {format_expr(stmt.value)};"
+    if isinstance(stmt, ast.IfStmt):
+        text = f"{pad}if ({format_expr(stmt.cond)})\n"
+        text += format_stmt(stmt.then_branch, indent + 1)
+        if stmt.else_branch is not None:
+            text += f"\n{pad}else\n" + format_stmt(stmt.else_branch, indent + 1)
+        return text
+    if isinstance(stmt, ast.WhileStmt):
+        return (
+            f"{pad}while ({format_expr(stmt.cond)})\n"
+            + format_stmt(stmt.body, indent + 1)
+        )
+    if isinstance(stmt, ast.ForStmt):
+        init = format_stmt(stmt.init, 0).rstrip(";") if stmt.init is not None else ""
+        cond = format_expr(stmt.cond) if stmt.cond is not None else ""
+        update = format_stmt(stmt.update, 0).rstrip(";") if stmt.update is not None else ""
+        return (
+            f"{pad}for ({init}; {cond}; {update})\n"
+            + format_stmt(stmt.body, indent + 1)
+        )
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {format_expr(stmt.value)};"
+    if isinstance(stmt, ast.BreakStmt):
+        return f"{pad}break;"
+    if isinstance(stmt, ast.ContinueStmt):
+        return f"{pad}continue;"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pad}{format_expr(stmt.expr)};"
+    if isinstance(stmt, ast.TaskExitStmt):
+        return pad + _format_taskexit(stmt)
+    raise TypeError(f"unknown statement node: {type(stmt).__name__}")
+
+
+def format_task_signature(task: ast.TaskDecl) -> str:
+    """Formats only the ``task name(...)`` header (used in visualizations)."""
+    params = []
+    for param in task.params:
+        text = f"{param.param_type} {param.name} in {param.guard}"
+        if param.tag_guards:
+            text += " with " + " and ".join(str(g) for g in param.tag_guards)
+        params.append(text)
+    return f"task {task.name}({', '.join(params)})"
+
+
+def format_task(task: ast.TaskDecl) -> str:
+    return format_task_signature(task) + "\n" + format_stmt(task.body, 0)
+
+
+def format_method(method: ast.MethodDecl, indent: int = 1) -> str:
+    pad = _INDENT * indent
+    params = ", ".join(f"{p.param_type} {p.name}" for p in method.params)
+    static = "static " if method.is_static else ""
+    if method.is_constructor:
+        header = f"{pad}{method.name}({params})"
+    else:
+        header = f"{pad}{static}{method.return_type} {method.name}({params})"
+    return header + "\n" + format_stmt(method.body, indent)
+
+
+def format_class(cls: ast.ClassDecl) -> str:
+    lines = [f"class {cls.name} {{"]
+    for flag in cls.flags:
+        lines.append(f"{_INDENT}flag {flag};")
+    for fld in cls.fields:
+        lines.append(f"{_INDENT}{fld.field_type} {fld.name};")
+    for method in cls.methods:
+        lines.append(format_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: ast.Program) -> str:
+    """Formats a whole program as re-parseable Bamboo source."""
+    parts = [format_class(cls) for cls in program.classes]
+    parts += [format_task(task) for task in program.tasks]
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,158 @@
+"""Token definitions for the Bamboo lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers
+    IDENT = "IDENT"
+    INT_LIT = "INT_LIT"
+    FLOAT_LIT = "FLOAT_LIT"
+    STRING_LIT = "STRING_LIT"
+
+    # Keywords
+    KW_CLASS = "class"
+    KW_TASK = "task"
+    KW_FLAG = "flag"
+    KW_TAG = "tag"
+    KW_TASKEXIT = "taskexit"
+    KW_NEW = "new"
+    KW_IN = "in"
+    KW_WITH = "with"
+    KW_AND = "and"
+    KW_OR = "or"
+    KW_ADD = "add"
+    KW_CLEAR = "clear"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_NULL = "null"
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_BOOLEAN = "boolean"
+    KW_STRING = "String"
+    KW_VOID = "void"
+    KW_THIS = "this"
+    KW_STATIC = "static"
+
+    # Punctuation / operators
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    ASSIGN = "="
+    FLAG_ASSIGN = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    NOT = "!"
+    AMPAMP = "&&"
+    PIPEPIPE = "||"
+    PLUSPLUS = "++"
+    MINUSMINUS = "--"
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+
+    EOF = "EOF"
+
+
+#: Maps keyword spellings to their token kinds.
+KEYWORDS = {
+    "class": TokenKind.KW_CLASS,
+    "task": TokenKind.KW_TASK,
+    "flag": TokenKind.KW_FLAG,
+    "tag": TokenKind.KW_TAG,
+    "taskexit": TokenKind.KW_TASKEXIT,
+    "new": TokenKind.KW_NEW,
+    "in": TokenKind.KW_IN,
+    "with": TokenKind.KW_WITH,
+    "and": TokenKind.KW_AND,
+    "or": TokenKind.KW_OR,
+    "add": TokenKind.KW_ADD,
+    "clear": TokenKind.KW_CLEAR,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "null": TokenKind.KW_NULL,
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_FLOAT,  # accepted as an alias for float
+    "boolean": TokenKind.KW_BOOLEAN,
+    "String": TokenKind.KW_STRING,
+    "void": TokenKind.KW_VOID,
+    "this": TokenKind.KW_THIS,
+    "static": TokenKind.KW_STATIC,
+}
+
+#: Contextual keywords: these act as keywords only in specific grammar spots
+#: (``in``, ``with``, ``and``, ``or``, ``add``, ``clear``) but the lexer still
+#: classifies them as keyword tokens; the parser treats them as identifiers
+#: where needed.
+CONTEXTUAL_KEYWORDS = frozenset(
+    {
+        TokenKind.KW_IN,
+        TokenKind.KW_WITH,
+        TokenKind.KW_AND,
+        TokenKind.KW_OR,
+        TokenKind.KW_ADD,
+        TokenKind.KW_CLEAR,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload for literals (``int``/``float``/
+    ``str``) and the spelling for identifiers and keywords.
+    """
+
+    kind: TokenKind
+    value: Any
+    location: SourceLocation
+
+    @property
+    def spelling(self) -> str:
+        if self.kind in (TokenKind.IDENT, TokenKind.STRING_LIT):
+            return str(self.value)
+        if self.kind in (TokenKind.INT_LIT, TokenKind.FLOAT_LIT):
+            return repr(self.value)
+        return self.kind.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.location})"

@@ -1,0 +1,471 @@
+"""Deterministic discrete-event many-core machine (TILEPro64 substitute).
+
+The machine executes a compiled Bamboo program under a given layout: each
+core runs the distributed scheduler of :mod:`repro.runtime.scheduler`, task
+bodies execute through the IR interpreter (charging cycle costs from
+:mod:`repro.ir.costs`), and inter-core object transfers pay mesh-distance
+message latencies. Virtual time is advanced by a single event queue, so the
+simulation is exact and reproducible — the role real silicon plays in the
+paper, minus the nondeterminism.
+
+Faithfulness notes:
+
+* A task's effects (flag updates, tag rebinding, lock-group merges, and the
+  routing of parameter/new objects) commit at the invocation's *completion*
+  time; other cores observing flags mid-execution see pre-transition state,
+  exactly as with commit-at-end locking on hardware.
+* Locks are all-or-nothing at dispatch; a core that cannot lock simply runs
+  a different invocation (tasks never abort, §4.7).
+* The optional centralized-scheduler mode serializes every dispatch through
+  one scheduling bottleneck — the comparison of §4.6.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.astate import AState, state_of_object
+from ..ir import costs
+from ..lang.errors import ScheduleError
+from ..schedule.layout import (
+    Layout,
+    Router,
+    common_tag_binding,
+    core_speed,
+    mesh_hops,
+    scale_duration,
+)
+from .interp import Interpreter, TaskEffects, make_startup_object
+from .objects import BObject, Heap
+from .profiler import ProfileData
+from .scheduler import CoreScheduler, Invocation, LockManager
+
+
+@dataclass
+class MachineConfig:
+    """Tunables for one machine run."""
+
+    centralized_scheduler: bool = False
+    #: charge the optional per-access array bounds checks (paper §5.5)
+    bounds_checks: bool = False
+    #: per-core relative speeds (heterogeneous cores, §4.6 extension);
+    #: missing cores default to 1.0
+    core_speeds: Optional[Dict[int, float]] = None
+    max_invocations: int = 5_000_000
+    max_events: int = 20_000_000
+    interp_max_steps: int = 2_000_000_000
+
+
+@dataclass
+class MachineResult:
+    """Outcome of a machine run."""
+
+    total_cycles: int
+    core_busy: Dict[int, int]
+    invocations: Dict[str, int]
+    exit_counts: Dict[Tuple[str, int], int]
+    messages: int
+    retired_objects: int
+    stale_invocations: int
+    lock_failures: int
+    stdout: str
+    profile: Optional[ProfileData] = None
+
+    def busy_fraction(self) -> float:
+        if not self.core_busy or self.total_cycles == 0:
+            return 0.0
+        return sum(self.core_busy.values()) / (
+            len(self.core_busy) * self.total_cycles
+        )
+
+
+@dataclass
+class _Commit:
+    """Deferred effects of a running invocation."""
+
+    invocation: Invocation
+    effects: TaskEffects
+    flag_updates: Dict[int, Dict[str, bool]]
+    routes: List[Tuple[BObject, str, int, int, int]]
+    # (object, task, param_index, dest core, extra latency)
+
+
+class ManyCoreMachine:
+    """Runs one compiled program + layout to completion in virtual time."""
+
+    def __init__(
+        self,
+        compiled,
+        layout: Layout,
+        config: Optional[MachineConfig] = None,
+        collect_profile: bool = False,
+    ):
+        layout.validate(compiled.info)
+        self.compiled = compiled
+        self.info = compiled.info
+        self.ir_program = compiled.ir_program
+        self.lock_plan = compiled.lock_plan
+        self.layout = layout
+        self.config = config or MachineConfig()
+        self.collect_profile = collect_profile
+
+        self.heap = Heap()
+        self.interp = Interpreter(
+            self.ir_program,
+            self.info,
+            self.heap,
+            max_steps=self.config.interp_max_steps,
+            bounds_checks=self.config.bounds_checks,
+        )
+        self.router = Router(self.info, layout)
+        self.locks = LockManager()
+        self.schedulers: Dict[int, CoreScheduler] = {}
+        for core in layout.cores_used():
+            self.schedulers[core] = CoreScheduler(
+                core, self.info, layout.tasks_on_core(core)
+            )
+        self.busy_until: Dict[int, int] = {
+            core: costs.RUNTIME_INIT_COST for core in layout.cores_used()
+        }
+        self._events: List[Tuple[int, int, str, tuple]] = []
+        self._seq = 0
+        self._rr_state: Dict[Tuple[int, str], int] = {}
+        self._sched_clock = 0  # centralized-scheduler serialization point
+        self._commits: Dict[int, _Commit] = {}
+        self._commit_id = 0
+
+        # statistics
+        self.invocation_counts: Dict[str, int] = {}
+        self.exit_counts: Dict[Tuple[str, int], int] = {}
+        self.messages = 0
+        self.retired = 0
+        self.stale_invocations = 0
+        self.lock_failures = 0
+        self.profile = ProfileData() if collect_profile else None
+
+    # -- event plumbing ----------------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, args: Sequence[str]) -> MachineResult:
+        startup = make_startup_object(self.heap, self.info, list(args))
+        start_time = costs.RUNTIME_INIT_COST
+        self._route_concrete(startup, sender_core=None, time=start_time)
+
+        events_processed = 0
+        last_time = start_time
+        total_invocations = 0
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            last_time = max(last_time, time)
+            events_processed += 1
+            if events_processed > self.config.max_events:
+                raise ScheduleError("machine event budget exhausted")
+            if kind == "arrive":
+                core, task, param_index, obj = payload
+                scheduler = self.schedulers[core]
+                scheduler.enqueue_object(task, param_index, obj, time)
+                if scheduler.has_work():
+                    self._kick(core, time)
+            elif kind == "kick":
+                (core,) = payload
+                self._dispatch(core, time)
+            elif kind == "complete":
+                core, commit_id = payload
+                total_invocations += 1
+                if total_invocations > self.config.max_invocations:
+                    raise ScheduleError("machine invocation budget exhausted")
+                self._complete(core, commit_id, time)
+            else:  # pragma: no cover - exhaustive
+                raise ScheduleError(f"unknown event kind {kind}")
+
+        total = max([last_time] + list(self.busy_until.values()))
+        busy = {
+            core: self.busy_until[core] - costs.RUNTIME_INIT_COST
+            for core in self.busy_until
+        }
+        if self.profile is not None:
+            self.profile.run_cycles = total
+        return MachineResult(
+            total_cycles=total,
+            core_busy=busy,
+            invocations=dict(self.invocation_counts),
+            exit_counts=dict(self.exit_counts),
+            messages=self.messages,
+            retired_objects=self.retired,
+            stale_invocations=self.stale_invocations,
+            lock_failures=self.lock_failures,
+            stdout=self.interp.output(),
+            profile=self.profile,
+        )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _kick(self, core: int, time: int) -> None:
+        ready_at = max(time, self.busy_until.get(core, 0))
+        self._push(ready_at, "kick", (core,))
+
+    def _dispatch(self, core: int, time: int) -> None:
+        if self.busy_until[core] > time:
+            return  # busy; the completion handler re-kicks
+        scheduler = self.schedulers[core]
+        invocation, stale = scheduler.pick_invocation(self.locks)
+        if stale:
+            self.stale_invocations += len(stale)
+            for obj in stale:
+                self._route_concrete(obj, sender_core=core, time=time)
+        if invocation is None:
+            if scheduler.has_work():
+                self.lock_failures += 1
+            return
+
+        start = time
+        if self.config.centralized_scheduler:
+            # Every dispatch serializes through the central scheduler on
+            # core 0 and pays the request/response round trip to it (§4.6).
+            round_trip = 2 * (
+                costs.MSG_SEND_COST
+                + self.layout.hops(core, 0) * costs.HOP_COST
+            )
+            slot = max(self._sched_clock, time)
+            self._sched_clock = slot + costs.DISPATCH_COST + round_trip
+            start = self._sched_clock
+
+        pre_cost = costs.DISPATCH_COST + costs.LOCK_COST * len(invocation.objects)
+        effects = self.interp.run_task(invocation.task, invocation.objects)
+
+        func = self.ir_program.tasks[invocation.task]
+        spec = func.exits[effects.exit_id]
+        flag_updates = {
+            index: dict(updates) for index, updates in spec.flag_updates.items()
+        }
+        commit_cost = costs.FLAG_UPDATE_COST * (
+            sum(len(u) for u in flag_updates.values())
+            + sum(len(a) for a in effects.tag_actions.values())
+        )
+
+        routes, route_cost = self._plan_routing(core, invocation, effects, flag_updates)
+        busy = pre_cost + effects.cycles + commit_cost + route_cost
+        busy = scale_duration(busy, core_speed(self.config.core_speeds, core))
+        completion = start + busy
+
+        self._commit_id += 1
+        self._commits[self._commit_id] = _Commit(
+            invocation=invocation,
+            effects=effects,
+            flag_updates=flag_updates,
+            routes=routes,
+        )
+        self.busy_until[core] = completion
+        self._push(completion, "complete", (core, self._commit_id))
+
+        if self.profile is not None:
+            allocs: Dict[int, int] = {}
+            for record in effects.new_objects:
+                allocs[record.site_id] = allocs.get(record.site_id, 0) + 1
+            # Profiled cycles include dispatch/lock/commit overhead but not
+            # message-send costs: on the profiling (single-core) run all
+            # routing is local, matching the paper's bootstrap profiles.
+            local_cost = busy - route_cost + self._local_route_cost(routes, core)
+            self.profile.record_invocation(
+                invocation.task, effects.exit_id, local_cost, allocs
+            )
+
+    @staticmethod
+    def _local_route_cost(
+        routes: List[Tuple[BObject, str, int, int, int]], core: int
+    ) -> int:
+        return costs.ENQUEUE_COST * sum(1 for r in routes if r[3] == core)
+
+    # -- routing ------------------------------------------------------------------------
+
+    def _future_state(
+        self,
+        obj: BObject,
+        param_index: int,
+        flag_updates: Dict[int, Dict[str, bool]],
+        effects: TaskEffects,
+    ) -> AState:
+        flags = set(obj.flags)
+        for flag, value in flag_updates.get(param_index, {}).items():
+            if value:
+                flags.add(flag)
+            else:
+                flags.discard(flag)
+        tag_counts = {t: len(tags) for t, tags in obj.tags.items()}
+        for op, tag in effects.tag_actions.get(param_index, []):
+            delta = 1 if op == "add" else -1
+            tag_counts[tag.tag_type] = tag_counts.get(tag.tag_type, 0) + delta
+        return AState.make(flags, tag_counts)
+
+    def _plan_routing(
+        self,
+        core: int,
+        invocation: Invocation,
+        effects: TaskEffects,
+        flag_updates: Dict[int, Dict[str, bool]],
+    ) -> Tuple[List[Tuple[BObject, str, int, int, int]], int]:
+        """Determines destinations for parameter and new objects.
+
+        Returns the route list plus the sender-side cycle cost (message
+        composition for remote sends, enqueue work for local ones).
+        """
+        routes: List[Tuple[BObject, str, int, int, int]] = []
+        sender_cost = 0
+        plans: List[Tuple[BObject, AState, Optional[Dict[str, List[int]]]]] = []
+        for param_index, obj in enumerate(invocation.objects):
+            future_state = self._future_state(obj, param_index, flag_updates, effects)
+            # Routing decisions (tag hashing in particular) must see the
+            # tags this exit is *about to* bind, not just the current ones.
+            future_tags: Dict[str, List[int]] = {
+                tag_type: [t.tag_id for t in tags]
+                for tag_type, tags in obj.tags.items()
+            }
+            for op, tag in effects.tag_actions.get(param_index, []):
+                bucket = future_tags.setdefault(tag.tag_type, [])
+                if op == "add" and tag.tag_id not in bucket:
+                    bucket.append(tag.tag_id)
+                elif op == "clear" and tag.tag_id in bucket:
+                    bucket.remove(tag.tag_id)
+            plans.append((obj, future_state, future_tags))
+        for record in effects.new_objects:
+            obj = record.obj
+            plans.append((obj, state_of_object(obj), None))
+
+        for obj, state, tags_override in plans:
+            consumed = False
+            for task, param_index in self.router.consumers(obj.class_name, state):
+                dest, latency = self._choose_destination(
+                    core, task, obj, state, tags_override
+                )
+                routes.append((obj, task, param_index, dest, latency))
+                consumed = True
+                if dest == core:
+                    sender_cost += costs.ENQUEUE_COST
+                else:
+                    size = len(obj.fields)
+                    sender_cost += costs.MSG_SEND_COST + costs.MSG_WORD_COST * size
+            if not consumed:
+                self.retired += 1
+        return routes, sender_cost
+
+    def _choose_destination(
+        self,
+        sender: int,
+        task: str,
+        obj: BObject,
+        state: AState,
+        tags_override: Optional[Dict[str, List[int]]] = None,
+    ) -> Tuple[int, int]:
+        tag_hash: Optional[int] = None
+        task_info = self.info.task_info(task)
+        if len(self.layout.cores_of(task)) > 1 and len(task_info.decl.params) > 1:
+            binding = common_tag_binding(task_info.decl)
+            if binding is not None:
+                tag_type = next(
+                    g.tag_type
+                    for g in task_info.decl.params[0].tag_guards
+                    if g.binding == binding
+                )
+                if tags_override is not None:
+                    tag_ids = tags_override.get(tag_type, [])
+                else:
+                    tag_ids = [t.tag_id for t in obj.tags_of_type(tag_type)]
+                if tag_ids:
+                    tag_hash = min(tag_ids)
+        dest = self.router.pick_core(task, self._rr_state, sender, tag_hash)
+        if dest == sender:
+            return dest, 0
+        hops = self.layout.hops(sender, dest)
+        latency = (
+            costs.MSG_SEND_COST
+            + hops * costs.HOP_COST
+            + costs.MSG_WORD_COST * len(obj.fields)
+            + costs.ENQUEUE_COST
+        )
+        return dest, latency
+
+    def _route_concrete(
+        self, obj: BObject, sender_core: Optional[int], time: int
+    ) -> None:
+        """Routes an object according to its *current* state (used for the
+        startup object and for stale re-enqueues)."""
+        state = state_of_object(obj)
+        consumers = self.router.consumers(obj.class_name, state)
+        if not consumers:
+            self.retired += 1
+            return
+        for task, param_index in consumers:
+            sender = sender_core if sender_core is not None else 0
+            dest, latency = self._choose_destination(sender, task, obj, state)
+            if sender_core is None:
+                latency = 0
+            self._push(time + latency, "arrive", (dest, task, param_index, obj))
+            if sender_core is not None and dest != sender_core:
+                self.messages += 1
+
+    # -- completion -----------------------------------------------------------------------
+
+    def _complete(self, core: int, commit_id: int, time: int) -> None:
+        commit = self._commits.pop(commit_id)
+        invocation = commit.invocation
+        effects = commit.effects
+        task = invocation.task
+
+        # 1. Commit flag updates and tag actions.
+        for param_index, updates in commit.flag_updates.items():
+            obj = invocation.objects[param_index]
+            for flag, value in updates.items():
+                obj.set_flag(flag, value)
+        for param_index, actions in effects.tag_actions.items():
+            obj = invocation.objects[param_index]
+            for op, tag in actions:
+                if op == "add":
+                    obj.bind_tag(tag)
+                else:
+                    obj.unbind_tag(tag)
+
+        # 2. Merge lock groups for sharing-introducing tasks, then unlock.
+        plan = self.lock_plan.plan_for(task)
+        for group in plan.shared_groups:
+            self.locks.merge(
+                [invocation.objects[index].obj_id for index in sorted(group)]
+            )
+        self.locks.unlock_all(invocation.objects, core)
+
+        # 3. Route objects to their next consumers.
+        for obj, dest_task, param_index, dest, latency in commit.routes:
+            self._push(time + latency, "arrive", (dest, dest_task, param_index, obj))
+            if dest != core:
+                self.messages += 1
+
+        # 4. Statistics.
+        self.invocation_counts[task] = self.invocation_counts.get(task, 0) + 1
+        key = (task, effects.exit_id)
+        self.exit_counts[key] = self.exit_counts.get(key, 0) + 1
+
+        # 5. Keep the pipeline moving: this core and any lock-blocked cores.
+        self._kick(core, time)
+        for other, scheduler in self.schedulers.items():
+            if other != core and scheduler.has_work() and self.busy_until[other] <= time:
+                self._kick(other, time)
+
+
+def run_on_machine(
+    compiled,
+    layout: Layout,
+    args: Sequence[str],
+    config: Optional[MachineConfig] = None,
+    collect_profile: bool = False,
+) -> MachineResult:
+    """Convenience wrapper: builds a machine and runs it once."""
+    machine = ManyCoreMachine(
+        compiled, layout, config=config, collect_profile=collect_profile
+    )
+    return machine.run(args)

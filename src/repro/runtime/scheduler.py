@@ -1,0 +1,231 @@
+"""Per-core distributed runtime structures (paper §4.7).
+
+Each core runs a lightweight scheduler: for every task instantiated on the
+core there is one *parameter set* per parameter; objects that may satisfy a
+parameter's guard are placed in the corresponding set. When an object
+arrives, the scheduler forms new task invocations (assignments of parameter
+objects to parameters). Before executing an invocation the runtime locks all
+parameter objects — if any lock is unavailable it simply tries a different
+invocation (tasks never abort). Tag constraints are resolved using the tag
+instances' backward references.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.astate import runtime_guard_matches
+from ..lang import ast
+from ..sema.symbols import ProgramInfo
+from .objects import BObject
+
+
+@dataclass
+class Invocation:
+    """One pending task invocation: a full assignment of parameter objects."""
+
+    task: str
+    objects: List[BObject]
+    formed_at: int  # simulated time, for FIFO fairness and traces
+    seq: int = 0
+
+    def __repr__(self) -> str:
+        objs = ", ".join(repr(o) for o in self.objects)
+        return f"{self.task}({objs})"
+
+
+class LockManager:
+    """Object locks with mergeable lock groups.
+
+    Each global object starts in its own lock group. Tasks the disjointness
+    analysis flagged as sharing-introducing merge the groups of the affected
+    parameters at commit, so later tasks on either structure serialize —
+    the runtime realization of the paper's shared locks.
+    """
+
+    def __init__(self):
+        self._parent: Dict[int, int] = {}
+        self._held: Dict[int, int] = {}  # group root -> owner core
+
+    def _find(self, obj_id: int) -> int:
+        parent = self._parent
+        parent.setdefault(obj_id, obj_id)
+        root = obj_id
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def merge(self, obj_ids: Sequence[int]) -> None:
+        ids = list(obj_ids)
+        for other in ids[1:]:
+            ra, rb = self._find(ids[0]), self._find(other)
+            if ra != rb:
+                held_a = self._held.pop(ra, None)
+                held_b = self._held.pop(rb, None)
+                self._parent[ra] = rb
+                owner = held_a if held_a is not None else held_b
+                if owner is not None:
+                    self._held[rb] = owner
+
+    def try_lock_all(self, objects: Sequence[BObject], core: int) -> bool:
+        """Attempts to lock every object's group; all-or-nothing."""
+        roots: Set[int] = {self._find(obj.obj_id) for obj in objects}
+        for root in roots:
+            owner = self._held.get(root)
+            if owner is not None and owner != core:
+                return False
+        for root in roots:
+            self._held[root] = core
+        return True
+
+    def unlock_all(self, objects: Sequence[BObject], core: int) -> None:
+        for obj in objects:
+            root = self._find(obj.obj_id)
+            if self._held.get(root) == core:
+                del self._held[root]
+
+    def is_locked(self, obj: BObject) -> bool:
+        return self._find(obj.obj_id) in self._held
+
+
+class CoreScheduler:
+    """The scheduler state of a single core."""
+
+    def __init__(self, core: int, info: ProgramInfo, tasks: Sequence[str]):
+        self.core = core
+        self.info = info
+        self.task_names: List[str] = list(tasks)
+        #: (task, param index) -> FIFO of candidate objects
+        self.param_sets: Dict[Tuple[str, int], Deque[BObject]] = {}
+        self.ready: Deque[Invocation] = deque()
+        self._seq = 0
+        for task in self.task_names:
+            task_info = info.task_info(task)
+            for param_index in range(len(task_info.decl.params)):
+                self.param_sets[(task, param_index)] = deque()
+
+    # -- arrival & invocation formation ------------------------------------------
+
+    def enqueue_object(
+        self, task: str, param_index: int, obj: BObject, now: int
+    ) -> List[Invocation]:
+        """Inserts an object into a parameter set and forms any invocations
+        the new object makes possible."""
+        bucket = self.param_sets[(task, param_index)]
+        if any(existing is obj for existing in bucket):
+            return []
+        bucket.append(obj)
+        formed = []
+        while True:
+            invocation = self._try_form(task, now)
+            if invocation is None:
+                break
+            formed.append(invocation)
+            self.ready.append(invocation)
+        return formed
+
+    def _try_form(self, task: str, now: int) -> Optional[Invocation]:
+        task_info = self.info.task_info(task)
+        params = task_info.decl.params
+        sets = [self.param_sets[(task, i)] for i in range(len(params))]
+        if any(not bucket for bucket in sets):
+            return None
+        if len(params) == 1:
+            obj = sets[0].popleft()
+            return self._make_invocation(task, [obj], now)
+        combo = self._find_tag_compatible(params, sets)
+        if combo is None:
+            return None
+        for bucket, obj in zip(sets, combo):
+            bucket.remove(obj)
+        return self._make_invocation(task, list(combo), now)
+
+    def _make_invocation(
+        self, task: str, objects: List[BObject], now: int
+    ) -> Invocation:
+        self._seq += 1
+        return Invocation(task=task, objects=objects, formed_at=now, seq=self._seq)
+
+    @staticmethod
+    def _find_tag_compatible(
+        params: Sequence[ast.TaskParam], sets: Sequence[Deque[BObject]]
+    ) -> Optional[Tuple[BObject, ...]]:
+        """Finds one combination of objects (one per set) whose tag bindings
+        are mutually consistent. Bindings shared by several parameters must
+        resolve to the same tag instance."""
+        bindings: Dict[str, List[Tuple[int, str]]] = {}
+        for index, param in enumerate(params):
+            for guard in param.tag_guards:
+                bindings.setdefault(guard.binding, []).append(
+                    (index, guard.tag_type)
+                )
+
+        def compatible(combo: Sequence[BObject]) -> bool:
+            for constraint in bindings.values():
+                shared: Optional[Set[int]] = None
+                for param_index, tag_type in constraint:
+                    ids = {
+                        t.tag_id for t in combo[param_index].tags_of_type(tag_type)
+                    }
+                    if not ids:
+                        return False
+                    shared = ids if shared is None else (shared & ids)
+                if len(constraint) > 1 and not shared:
+                    return False
+            return True
+
+        def search(index: int, chosen: List[BObject]) -> Optional[Tuple[BObject, ...]]:
+            if index == len(sets):
+                combo = tuple(chosen)
+                return combo if compatible(combo) else None
+            for candidate in sets[index]:
+                chosen.append(candidate)
+                found = search(index + 1, chosen)
+                chosen.pop()
+                if found is not None:
+                    return found
+            return None
+
+        return search(0, [])
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def guards_still_hold(self, invocation: Invocation) -> bool:
+        task_info = self.info.task_info(invocation.task)
+        for param, obj in zip(task_info.decl.params, invocation.objects):
+            if not runtime_guard_matches(param, obj):
+                return False
+        return True
+
+    def pick_invocation(
+        self, locks: LockManager
+    ) -> Tuple[Optional[Invocation], List[BObject]]:
+        """Selects the next executable invocation.
+
+        Returns ``(invocation, stale_objects)``: ``invocation`` is None when
+        nothing can run right now; ``stale_objects`` are objects from
+        invalidated invocations that must be re-routed by the caller.
+        Lock-blocked invocations stay queued.
+        """
+        stale: List[BObject] = []
+        blocked: List[Invocation] = []
+        chosen: Optional[Invocation] = None
+        while self.ready:
+            invocation = self.ready.popleft()
+            if not self.guards_still_hold(invocation):
+                stale.extend(invocation.objects)
+                continue
+            if locks.try_lock_all(invocation.objects, self.core):
+                chosen = invocation
+                break
+            blocked.append(invocation)
+        # Preserve queue order for invocations we skipped due to locks.
+        for invocation in reversed(blocked):
+            self.ready.appendleft(invocation)
+        return chosen, stale
+
+    def has_work(self) -> bool:
+        return bool(self.ready)

@@ -1,0 +1,288 @@
+"""Directed simulated annealing over candidate layouts (paper §4.5).
+
+Each iteration simulates the current candidate set, probabilistically prunes
+it (best layouts survive with high probability, poor ones with a small
+probability), runs the critical path analysis on the survivors' traces, and
+spawns new candidates implementing the suggested migrations. The loop stops
+at diminishing returns, with a probabilistic chance to keep searching past a
+local maximum. Setting ``use_critical_path=False`` degenerates to plain
+undirected annealing (random moves only) — the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import CompiledProgram
+
+from ..lang.errors import ScheduleError
+from ..runtime.profiler import ProfileData
+from .coregroup import GroupGraph, build_group_graph, task_is_replicable
+from .critpath import compute_critical_path, suggest_moves
+from .layout import Layout
+from .mapping import (
+    random_layouts,
+    seed_layouts,
+    with_instance_added,
+    with_instance_moved,
+)
+from .rules import replica_choice_sets, suggest_replicas
+from .simulator import SchedulingSimulator, SimResult
+
+
+@dataclass
+class AnnealConfig:
+    seed: int = 0
+    initial_candidates: int = 8
+    keep_best: int = 4
+    keep_poor_probability: float = 0.15
+    moves_per_candidate: int = 4
+    random_moves_per_candidate: int = 2
+    patience: int = 2
+    continue_probability: float = 0.75
+    max_iterations: int = 40
+    max_evaluations: int = 600
+    use_critical_path: bool = True
+
+
+@dataclass
+class AnnealResult:
+    best_layout: Layout
+    best_cycles: int
+    evaluations: int
+    iterations: int
+    history: List[int] = field(default_factory=list)  # best estimate per iter
+    initial_layouts: List[Layout] = field(default_factory=list)
+
+
+class DirectedSimulatedAnnealing:
+    """The search driver."""
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        profile: ProfileData,
+        num_cores: int,
+        config: Optional[AnnealConfig] = None,
+        hints: Optional[Dict[str, str]] = None,
+        group_graph: Optional[GroupGraph] = None,
+        mesh_width: Optional[int] = None,
+        core_speeds: Optional[Dict[int, float]] = None,
+    ):
+        self.compiled = compiled
+        self.profile = profile
+        self.num_cores = num_cores
+        self.config = config or AnnealConfig()
+        self.hints = hints
+        self.mesh_width = mesh_width
+        self.core_speeds = core_speeds
+        self.rng = random.Random(self.config.seed)
+        if group_graph is None:
+            from ..core.api import annotated_cstg
+
+            cstg = annotated_cstg(compiled, profile)
+            group_graph = build_group_graph(compiled.info, cstg, profile)
+        self.graph = group_graph
+        self._cache: Dict[Tuple, Tuple[int, SimResult]] = {}
+        self.evaluations = 0
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, layout: Layout) -> Tuple[int, SimResult]:
+        if self.core_speeds:
+            # Heterogeneous cores break core-renaming symmetry: the exact
+            # assignment matters, so cache on it.
+            key: Tuple = layout.instances
+        else:
+            key = (layout.canonical_key(), tuple(layout.cores_used()))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        sim = SchedulingSimulator(
+            self.compiled, layout, self.profile, hints=self.hints,
+            core_speeds=self.core_speeds,
+        )
+        result = sim.run()
+        cycles = result.total_cycles if result.finished else 1 << 62
+        self._cache[key] = (cycles, result)
+        return cycles, result
+
+    # -- neighbor generation ----------------------------------------------------------
+
+    def _critical_path_neighbors(
+        self, layout: Layout, result: SimResult
+    ) -> List[Layout]:
+        neighbors: List[Layout] = []
+        path = compute_critical_path(result)
+        for move in suggest_moves(
+            result, layout, path, max_moves=self.config.moves_per_candidate
+        ):
+            neighbors.extend(self._apply_move(layout, move.task, move.from_core,
+                                              move.to_core))
+        return neighbors
+
+    def _apply_move(
+        self, layout: Layout, task: str, from_core: int, to_core: int
+    ) -> List[Layout]:
+        out: List[Layout] = []
+        try:
+            if from_core in layout.cores_of(task):
+                out.append(with_instance_moved(layout, task, from_core, to_core))
+                if task_is_replicable(self.compiled.info, task):
+                    out.append(with_instance_added(layout, task, to_core))
+        except ScheduleError:
+            pass
+        valid = []
+        for candidate in out:
+            try:
+                candidate.validate(self.compiled.info)
+                valid.append(candidate)
+            except ScheduleError:
+                continue
+        return valid
+
+    def _random_neighbors(self, layout: Layout) -> List[Layout]:
+        neighbors: List[Layout] = []
+        tasks = layout.tasks()
+        for _ in range(self.config.random_moves_per_candidate):
+            task = self.rng.choice(tasks)
+            cores = layout.cores_of(task)
+            from_core = self.rng.choice(cores)
+            to_core = self.rng.randrange(self.num_cores)
+            neighbors.extend(self._apply_move(layout, task, from_core, to_core))
+        return neighbors
+
+    # -- initial candidates ---------------------------------------------------------
+
+    def initial_layouts(self, extra: Optional[List[Layout]] = None) -> List[Layout]:
+        suggestions = suggest_replicas(
+            self.compiled.info, self.graph, self.profile, self.num_cores
+        )
+        choices = replica_choice_sets(suggestions, self.graph, self.num_cores)
+        layouts = seed_layouts(
+            self.compiled.info,
+            self.graph,
+            suggestions,
+            self.num_cores,
+            mesh_width=self.mesh_width,
+        )
+        layouts += random_layouts(
+            self.compiled.info,
+            self.graph,
+            choices,
+            self.num_cores,
+            count=self.config.initial_candidates,
+            rng=self.rng,
+            mesh_width=self.mesh_width,
+        )
+        if extra:
+            layouts = list(extra) + layouts
+        if not layouts:
+            layouts = [Layout.make(
+                self.num_cores,
+                {task: [0] for task in self.compiled.info.tasks},
+                self.mesh_width,
+            )]
+        return layouts
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, initial: Optional[List[Layout]] = None) -> AnnealResult:
+        config = self.config
+        candidates = self.initial_layouts(initial)
+        initial_snapshot = list(candidates)
+        best_layout = candidates[0]
+        best_cycles = 1 << 62
+        history: List[int] = []
+        patience = config.patience
+        iterations = 0
+
+        while iterations < config.max_iterations:
+            iterations += 1
+            scored: List[Tuple[int, Layout, SimResult]] = []
+            for layout in candidates:
+                cycles, result = self.evaluate(layout)
+                scored.append((cycles, layout, result))
+                if self.evaluations >= config.max_evaluations:
+                    break
+            scored.sort(key=lambda item: item[0])
+            improved = scored and scored[0][0] < best_cycles
+            if improved:
+                best_cycles, best_layout = scored[0][0], scored[0][1]
+            history.append(best_cycles)
+
+            if self.evaluations >= config.max_evaluations:
+                break
+
+            # Probabilistic pruning: keep the best layouts with certainty,
+            # poor layouts with a small probability.
+            kept = scored[: config.keep_best]
+            for item in scored[config.keep_best :]:
+                if self.rng.random() < config.keep_poor_probability:
+                    kept.append(item)
+
+            # Generate the next candidate set.
+            next_candidates: List[Layout] = []
+            seen = set()
+
+            def push(layout: Layout) -> None:
+                key = (layout.canonical_key(), tuple(layout.cores_used()))
+                if key not in seen:
+                    seen.add(key)
+                    next_candidates.append(layout)
+
+            for cycles, layout, result in kept:
+                push(layout)
+                if config.use_critical_path:
+                    for neighbor in self._critical_path_neighbors(layout, result):
+                        push(neighbor)
+                for neighbor in self._random_neighbors(layout):
+                    push(neighbor)
+
+            if not improved:
+                patience -= 1
+                if patience <= 0:
+                    # Possibly a local maximum: continue with high
+                    # probability (paper §4.5), otherwise stop.
+                    if self.rng.random() < config.continue_probability:
+                        patience = config.patience
+                    else:
+                        break
+            else:
+                patience = config.patience
+            candidates = next_candidates
+            if not candidates:
+                break
+
+        return AnnealResult(
+            best_layout=best_layout,
+            best_cycles=best_cycles,
+            evaluations=self.evaluations,
+            iterations=iterations,
+            history=history,
+            initial_layouts=initial_snapshot,
+        )
+
+
+def directed_simulated_annealing(
+    compiled: "CompiledProgram",
+    profile: ProfileData,
+    num_cores: int,
+    config: Optional[AnnealConfig] = None,
+    hints: Optional[Dict[str, str]] = None,
+    initial: Optional[List[Layout]] = None,
+    mesh_width: Optional[int] = None,
+    core_speeds: Optional[Dict[int, float]] = None,
+) -> AnnealResult:
+    """Runs DSA and returns the best layout found."""
+    dsa = DirectedSimulatedAnnealing(
+        compiled, profile, num_cores, config=config, hints=hints,
+        mesh_width=mesh_width, core_speeds=core_speeds,
+    )
+    return dsa.run(initial)

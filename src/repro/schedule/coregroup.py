@@ -1,0 +1,300 @@
+"""Core groups: the unit of task placement (paper §4.3).
+
+The compiler derives a task-level dependence graph from the CSTG: an edge
+from task A to task B means A's execution hands objects to B — either by
+*transitioning* a parameter object into a state B consumes, or by
+*allocating* new objects in such a state. Tasks in the same strongly
+connected component mutually feed each other and are kept together as one
+**core group** (they will always be mapped onto the same core, and a group
+is replicated as a unit).
+
+Edges carry the profile statistics the parallelization rules need: the
+expected number of objects flowing per producer invocation, the producer's
+cycle time around its SCC (``t_cycle``), and the consumer's expected
+processing time (``t_process``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.astate import guard_matches
+from ..analysis.cstg import CSTG
+from ..runtime.profiler import ProfileData
+from ..sema.symbols import ProgramInfo
+from .layout import common_tag_binding
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """Task-level dataflow edge."""
+
+    src: str
+    dst: str
+    kind: str  # "transition" | "new"
+    #: expected objects delivered to dst per src invocation
+    objects_per_invocation: float = 0.0
+
+
+@dataclass
+class CoreGroup:
+    """A set of tasks that must be co-located."""
+
+    group_id: int
+    tasks: FrozenSet[str]
+    #: False when the group contains a task that cannot be instantiated on
+    #: several cores (multi-parameter without a common tag guard, §4.3.4)
+    replicable: bool = True
+    #: True when the group's tasks form a cycle (SCC of size > 1 or a task
+    #: with a self-edge) — the producer shape the rate-matching rule targets
+    cyclic: bool = False
+
+    def label(self) -> str:
+        return "{" + ",".join(sorted(self.tasks)) + "}"
+
+
+@dataclass
+class GroupEdge:
+    src_group: int
+    dst_group: int
+    objects_per_invocation: float
+    kind: str
+
+
+@dataclass
+class GroupGraph:
+    """Condensation of the task dependence graph into core groups."""
+
+    groups: List[CoreGroup] = field(default_factory=list)
+    edges: List[GroupEdge] = field(default_factory=list)
+    group_of_task: Dict[str, int] = field(default_factory=dict)
+
+    def group(self, group_id: int) -> CoreGroup:
+        return self.groups[group_id]
+
+    def producers_of(self, group_id: int) -> List[GroupEdge]:
+        return [e for e in self.edges if e.dst_group == group_id]
+
+    def consumers_of(self, group_id: int) -> List[GroupEdge]:
+        return [e for e in self.edges if e.src_group == group_id]
+
+    def roots(self) -> List[int]:
+        have_producers = {e.dst_group for e in self.edges}
+        return [g.group_id for g in self.groups if g.group_id not in have_producers]
+
+    def format(self) -> str:
+        lines = ["GroupGraph:"]
+        for group in self.groups:
+            marker = "" if group.replicable else " (pinned)"
+            lines.append(f"  G{group.group_id}: {group.label()}{marker}")
+        for edge in self.edges:
+            lines.append(
+                f"    G{edge.src_group} --{edge.kind}:{edge.objects_per_invocation:.2f}--> "
+                f"G{edge.dst_group}"
+            )
+        return "\n".join(lines)
+
+
+def task_is_replicable(info: ProgramInfo, task: str) -> bool:
+    task_info = info.task_info(task)
+    if len(task_info.decl.params) <= 1:
+        return True
+    return common_tag_binding(task_info.decl) is not None
+
+
+def build_task_edges(
+    info: ProgramInfo, cstg: CSTG, profile: Optional[ProfileData] = None
+) -> List[TaskEdge]:
+    """Derives task-level dataflow edges from the CSTG."""
+    edges: Dict[Tuple[str, str, str], float] = {}
+
+    def consumers_of_node(key) -> Set[str]:
+        node = cstg.nodes[key]
+        out: Set[str] = set()
+        for task_name, task_info in info.tasks.items():
+            for param in task_info.decl.params:
+                if param.param_type.name != node.class_name:
+                    continue
+                if guard_matches(param, node.state):
+                    out.add(task_name)
+        return out
+
+    for edge in cstg.transitions:
+        weight = edge.probability if profile is not None else 1.0
+        for consumer in consumers_of_node(edge.dst):
+            key = (edge.task, consumer, "transition")
+            edges[key] = edges.get(key, 0.0) + weight
+    for new_edge in cstg.new_edges:
+        if profile is not None:
+            prob = profile.exit_probability(new_edge.task, new_edge.exit_id)
+            weight = new_edge.avg_count * prob
+        else:
+            weight = 1.0
+        for consumer in consumers_of_node(new_edge.dst):
+            key = (new_edge.task, consumer, "new")
+            edges[key] = edges.get(key, 0.0) + weight
+
+    return [
+        TaskEdge(src=s, dst=d, kind=k, objects_per_invocation=w)
+        for (s, d, k), w in sorted(edges.items())
+    ]
+
+
+def _tarjan_sccs(nodes: List[str], adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(adjacency.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            sccs.append(sorted(component))
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def build_group_graph(
+    info: ProgramInfo,
+    cstg: CSTG,
+    profile: Optional[ProfileData] = None,
+    granularity: str = "group",
+) -> GroupGraph:
+    """Builds the core-group graph: SCC condensation of the task graph
+    followed by the data-locality merge.
+
+    ``granularity="task"`` skips both merges and yields one group per task —
+    the finest placement space, used by the Figure 10 exhaustive candidate
+    enumeration (where every assignment of individual tasks to core pools is
+    a distinct candidate implementation).
+    """
+    tasks = sorted(info.tasks)
+    task_edges = build_task_edges(info, cstg, profile)
+    if granularity == "task":
+        return _task_granularity_graph(info, tasks, task_edges)
+    adjacency: Dict[str, Set[str]] = {}
+    for edge in task_edges:
+        if edge.src != edge.dst:
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+        else:
+            # self-loop: still an SCC membership signal handled by tarjan
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+
+    self_edges = {e.src for e in task_edges if e.src == e.dst}
+    sccs = _tarjan_sccs(tasks, adjacency)
+
+    # Data locality rule (§4.3.3): tasks linked by *transition* edges keep
+    # processing the same object, so their SCCs merge into one core group —
+    # the per-object pipeline stays on one core. New-object edges are the
+    # fan-out points and keep groups separate.
+    scc_of_task = {}
+    for index, component in enumerate(sccs):
+        for task in component:
+            scc_of_task[task] = index
+    parent = list(range(len(sccs)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in task_edges:
+        if edge.kind == "transition" and edge.objects_per_invocation > 0:
+            a, b = find(scc_of_task[edge.src]), find(scc_of_task[edge.dst])
+            if a != b:
+                parent[max(a, b)] = min(a, b)
+
+    merged_components: Dict[int, List[str]] = {}
+    for index, component in enumerate(sccs):
+        merged_components.setdefault(find(index), []).extend(component)
+
+    graph = GroupGraph()
+    for root in sorted(merged_components):
+        component = sorted(merged_components[root])
+        group_id = len(graph.groups)
+        replicable = any(task_is_replicable(info, t) for t in component)
+        cyclic = any(
+            scc_len > 1
+            for scc_len in (
+                len(sccs[i]) for i in range(len(sccs)) if find(i) == root
+            )
+        ) or any(task in self_edges for task in component)
+        graph.groups.append(
+            CoreGroup(
+                group_id=group_id,
+                tasks=frozenset(component),
+                replicable=replicable,
+                cyclic=cyclic,
+            )
+        )
+        for task in component:
+            graph.group_of_task[task] = group_id
+
+    merged: Dict[Tuple[int, int, str], float] = {}
+    for edge in task_edges:
+        src_group = graph.group_of_task[edge.src]
+        dst_group = graph.group_of_task[edge.dst]
+        if src_group == dst_group:
+            continue
+        key = (src_group, dst_group, edge.kind)
+        merged[key] = merged.get(key, 0.0) + edge.objects_per_invocation
+    graph.edges = [
+        GroupEdge(src_group=s, dst_group=d, kind=k, objects_per_invocation=w)
+        for (s, d, k), w in sorted(merged.items())
+    ]
+    return graph
+
+
+def _task_granularity_graph(
+    info: ProgramInfo, tasks: List[str], task_edges: List[TaskEdge]
+) -> GroupGraph:
+    """One core group per task (see build_group_graph granularity='task')."""
+    self_edges = {e.src for e in task_edges if e.src == e.dst}
+    graph = GroupGraph()
+    for task in tasks:
+        group_id = len(graph.groups)
+        graph.groups.append(
+            CoreGroup(
+                group_id=group_id,
+                tasks=frozenset([task]),
+                replicable=task_is_replicable(info, task),
+                cyclic=task in self_edges,
+            )
+        )
+        graph.group_of_task[task] = group_id
+    merged: Dict[Tuple[int, int, str], float] = {}
+    for edge in task_edges:
+        src_group = graph.group_of_task[edge.src]
+        dst_group = graph.group_of_task[edge.dst]
+        if src_group == dst_group:
+            continue
+        key = (src_group, dst_group, edge.kind)
+        merged[key] = merged.get(key, 0.0) + edge.objects_per_invocation
+    graph.edges = [
+        GroupEdge(src_group=s, dst_group=d, kind=k, objects_per_invocation=w)
+        for (s, d, k), w in sorted(merged.items())
+    ]
+    return graph

@@ -1,0 +1,126 @@
+"""CSTG preprocessing: the tree-of-SCCs transformation (paper §4.3.2).
+
+Core groups with more than one incident new-object edge receive work from
+several disjoint sources; the paper duplicates such SCCs until every core
+group (except the startup group) has exactly one incident new-object edge,
+turning the graph into a tree. With round-robin routing, duplicating a
+group is equivalent to granting it one replica per work source, so this
+module computes the duplication factors that seed the mapping search and
+the resulting tree structure (used by tests and visualization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .coregroup import GroupEdge, GroupGraph
+
+
+@dataclass
+class TreeNode:
+    """One duplicated instance of a core group in the SCC tree."""
+
+    node_id: int
+    group_id: int
+    #: the new-object edge feeding this instance (None for roots)
+    work_source: Optional[GroupEdge] = None
+    children: List[int] = field(default_factory=list)
+
+
+@dataclass
+class GroupTree:
+    graph: GroupGraph
+    nodes: List[TreeNode] = field(default_factory=list)
+    roots: List[int] = field(default_factory=list)
+
+    def duplication_factor(self, group_id: int) -> int:
+        return sum(1 for node in self.nodes if node.group_id == group_id)
+
+    def format(self) -> str:
+        lines = ["GroupTree:"]
+
+        def visit(node_id: int, depth: int) -> None:
+            node = self.nodes[node_id]
+            label = self.graph.group(node.group_id).label()
+            lines.append("  " * (depth + 1) + f"N{node.node_id} {label}")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 0)
+        return "\n".join(lines)
+
+
+def build_group_tree(graph: GroupGraph) -> GroupTree:
+    """Duplicates multi-source groups into a tree of SCC instances.
+
+    Non-replicable groups cannot be duplicated; they keep a single instance
+    that merges all their work sources (the runtime routes every source to
+    the one instantiation, as §4.3.4 requires).
+    """
+    tree = GroupTree(graph=graph)
+    instances: Dict[int, List[int]] = {}
+
+    def new_node(group_id: int, source: Optional[GroupEdge]) -> int:
+        node = TreeNode(
+            node_id=len(tree.nodes), group_id=group_id, work_source=source
+        )
+        tree.nodes.append(node)
+        instances.setdefault(group_id, []).append(node.node_id)
+        return node.node_id
+
+    for root_group in graph.roots():
+        tree.roots.append(new_node(root_group, None))
+
+    # Process groups in topological order of the condensation.
+    order = _topo_order(graph)
+    for group_id in order:
+        new_edges = [
+            e
+            for e in graph.producers_of(group_id)
+            if e.kind == "new" and e.src_group != group_id
+        ]
+        if not new_edges:
+            continue
+        group = graph.group(group_id)
+        if group.replicable and len(new_edges) > 1:
+            sources = new_edges
+        else:
+            sources = new_edges[:1]
+        for edge in sources:
+            node_id = new_node(group_id, edge)
+            for producer_node in instances.get(edge.src_group, []):
+                tree.nodes[producer_node].children.append(node_id)
+    return tree
+
+
+def duplication_factors(graph: GroupGraph) -> Dict[int, int]:
+    """Per-group duplication factor implied by the tree transformation."""
+    tree = build_group_tree(graph)
+    return {
+        group.group_id: max(1, tree.duplication_factor(group.group_id))
+        for group in graph.groups
+    }
+
+
+def _topo_order(graph: GroupGraph) -> List[int]:
+    indegree: Dict[int, int] = {g.group_id: 0 for g in graph.groups}
+    for edge in graph.edges:
+        if edge.src_group != edge.dst_group:
+            indegree[edge.dst_group] += 1
+    ready = sorted(g for g, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        group_id = ready.pop(0)
+        order.append(group_id)
+        for edge in sorted(
+            graph.consumers_of(group_id), key=lambda e: e.dst_group
+        ):
+            if edge.src_group == edge.dst_group:
+                continue
+            indegree[edge.dst_group] -= 1
+            if indegree[edge.dst_group] == 0:
+                ready.append(edge.dst_group)
+        ready.sort()
+    return order

@@ -1,0 +1,176 @@
+"""Parallelizing transformation rules (paper §4.3.3).
+
+Three rules transform the core-group graph to expose parallelism:
+
+* **Data locality rule** — the default: tasks stay on the same core unless
+  another rule applies (one replica per group).
+* **Data parallelization rule** — if a producer invocation allocates ``m``
+  objects consumed by another group, replicate the consumer group to ``m``
+  copies so the new objects can be processed in parallel.
+* **Rate matching rule** — a short producer *cycle* can overwhelm a
+  consumer: with ``m`` objects allocated per cycle of length ``t_cycle`` and
+  consumer processing time ``t_process``, the consumer needs
+  ``n = ceil(m * t_process / t_cycle)`` replicas. Applied when the producer
+  group is cyclic and lies in a different SCC; the larger of the two rules'
+  counts wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..runtime.profiler import ProfileData
+from ..sema.symbols import ProgramInfo
+from .coregroup import GroupGraph
+
+
+@dataclass
+class ReplicaSuggestion:
+    """The replica count the rules recommend for one core group."""
+
+    group_id: int
+    replicas: int
+    rule: str  # "locality" | "data-parallel" | "rate-match" | "pinned"
+    #: raw (uncapped) count, for diagnostics
+    raw: float = 0.0
+
+
+def group_processing_time(
+    graph: GroupGraph, profile: ProfileData, group_id: int
+) -> float:
+    """Expected cycles one object spends being processed by a group —
+    the weighted-average task time over the group's tasks."""
+    tasks = sorted(graph.group(group_id).tasks)
+    times = [profile.avg_task_cycles(task) for task in tasks]
+    invocations = [profile.invocations(task) for task in tasks]
+    total_inv = sum(invocations)
+    if total_inv == 0:
+        return 0.0
+    # Per delivered object the group runs each of its tasks in proportion to
+    # the observed invocation mix.
+    reference = max(invocations)
+    if reference == 0:
+        return 0.0
+    return sum(
+        t * (inv / reference) for t, inv in zip(times, invocations)
+    )
+
+
+def group_cycle_time(
+    graph: GroupGraph, profile: ProfileData, group_id: int
+) -> float:
+    """Approximate ``t_cycle`` of a cyclic producer group: the sum of its
+    tasks' expected times (the shortest trip around the SCC visits each
+    task once)."""
+    tasks = sorted(graph.group(group_id).tasks)
+    return sum(profile.avg_task_cycles(task) for task in tasks)
+
+
+def suggest_replicas(
+    info: ProgramInfo,
+    graph: GroupGraph,
+    profile: ProfileData,
+    num_cores: int,
+    enable_data_parallel: bool = True,
+    enable_rate_match: bool = True,
+) -> Dict[int, ReplicaSuggestion]:
+    """Computes the per-group replica counts the rules recommend.
+
+    The two boolean switches support the ablation benches (locality-only
+    placement corresponds to both rules disabled).
+    """
+    suggestions: Dict[int, ReplicaSuggestion] = {}
+    for group in _topo_groups(graph):
+        gid = group.group_id
+        if not group.replicable:
+            suggestions[gid] = ReplicaSuggestion(gid, 1, "pinned")
+            continue
+        best = ReplicaSuggestion(gid, 1, "locality", raw=1.0)
+        # Transition edges move existing objects 1:1 between groups, so a
+        # replicated producer stage needs an equally replicated consumer
+        # stage (the data-locality rule keeps per-object pipelines wide).
+        for edge in graph.producers_of(gid):
+            if edge.kind != "transition" or edge.objects_per_invocation <= 0:
+                continue
+            producer = suggestions.get(edge.src_group)
+            if producer is not None and producer.replicas > best.replicas:
+                best = ReplicaSuggestion(
+                    gid, producer.replicas, "locality-chain",
+                    raw=float(producer.replicas),
+                )
+        for edge in graph.producers_of(gid):
+            if edge.kind != "new":
+                continue
+            producer = graph.group(edge.src_group)
+            # Expected objects per producer invocation reaching this group.
+            m = edge.objects_per_invocation
+            if m <= 0:
+                continue
+            if enable_data_parallel:
+                dp_count = int(round(m))
+                if dp_count > best.replicas:
+                    best = ReplicaSuggestion(gid, dp_count, "data-parallel", raw=m)
+            if enable_rate_match and producer.cyclic:
+                t_cycle = group_cycle_time(graph, profile, edge.src_group)
+                t_process = group_processing_time(graph, profile, gid)
+                if t_cycle > 0:
+                    n = math.ceil(m * t_process / t_cycle)
+                    if n > best.replicas:
+                        best = ReplicaSuggestion(gid, n, "rate-match", raw=float(n))
+        best.replicas = max(1, min(best.replicas, num_cores))
+        suggestions[gid] = best
+    return suggestions
+
+
+def _topo_groups(graph: GroupGraph):
+    """Groups in topological order of the condensation (ties by id)."""
+    indegree = {g.group_id: 0 for g in graph.groups}
+    for edge in graph.edges:
+        if edge.src_group != edge.dst_group:
+            indegree[edge.dst_group] += 1
+    ready = sorted(g for g, deg in indegree.items() if deg == 0)
+    order = []
+    while ready:
+        gid = ready.pop(0)
+        order.append(graph.group(gid))
+        for edge in sorted(graph.consumers_of(gid), key=lambda e: e.dst_group):
+            if edge.src_group == edge.dst_group:
+                continue
+            indegree[edge.dst_group] -= 1
+            if indegree[edge.dst_group] == 0:
+                ready.append(edge.dst_group)
+        ready.sort()
+    # Any leftover groups (condensation is a DAG, so only on bugs) append.
+    seen = {g.group_id for g in order}
+    order.extend(g for g in graph.groups if g.group_id not in seen)
+    return order
+
+
+def replica_choice_sets(
+    suggestions: Dict[int, ReplicaSuggestion],
+    graph: GroupGraph,
+    num_cores: int,
+) -> Dict[int, List[int]]:
+    """Candidate replica counts per group for the mapping search.
+
+    The suggested count anchors each set; 1 (no replication) and the full
+    machine width are included so the search space contains both the
+    locality-maximizing and the parallelism-maximizing extremes.
+    """
+    choices: Dict[int, List[int]] = {}
+    for group in graph.groups:
+        suggestion = suggestions[group.group_id]
+        if not group.replicable:
+            choices[group.group_id] = [1]
+            continue
+        options = {1, suggestion.replicas}
+        if suggestion.replicas > 1:
+            options.add(max(1, suggestion.replicas // 2))
+            options.add(min(num_cores, suggestion.replicas * 2))
+        options.add(min(num_cores, max(1, num_cores - 1)))
+        choices[group.group_id] = sorted(
+            c for c in options if 1 <= c <= num_cores
+        )
+    return choices

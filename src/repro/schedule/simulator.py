@@ -1,0 +1,516 @@
+"""High-level scheduling simulator (paper §4.4).
+
+Estimates how long a candidate layout will take to execute **without running
+any application code**: task durations, exit choices, and allocation counts
+all come from the profile's Markov model. The simulator mirrors the real
+runtime's structure — per-core parameter sets, FIFO invocation formation,
+round-robin/tag-hash routing, mesh transfer latencies — but moves abstract
+objects that carry only (class, abstract state).
+
+Exit selection follows the paper's count-matching policy: the simulator
+keeps a count per destination and picks the exit minimizing the difference
+between observed and profile-predicted frequencies (optionally per object,
+via developer hints). Task execution time is the profiled average for the
+chosen exit; fractional expected allocation counts accumulate so long runs
+emit the right totals.
+
+The simulated execution also produces the trace that the critical path
+analysis (§4.5.1) consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import CompiledProgram
+
+from ..analysis.astate import AState, guard_matches
+from ..ir import costs
+from ..lang.errors import ScheduleError
+from ..runtime.profiler import ProfileData
+from ..schedule.layout import (
+    Layout,
+    Router,
+    common_tag_binding,
+    core_speed,
+    mesh_hops,
+    scale_duration,
+)
+from ..sema import builtins
+
+
+#: Nominal duration charged to simulated invocations of tasks the profile
+#: never observed (see SchedulingSimulator._dispatch).
+UNPROFILED_TASK_CYCLES = 200
+
+
+@dataclass
+class SimObject:
+    """An abstract object: identity, class, state, optional tag key."""
+
+    obj_id: int
+    class_name: str
+    state: AState
+    tag_key: Optional[int] = None
+
+
+@dataclass
+class QueueEntry:
+    obj: SimObject
+    arrived_at: int
+    producer_event: Optional[int]  # trace event id that produced the object
+
+
+@dataclass
+class TraceEvent:
+    """One simulated task invocation (a node pair in the Fig. 6 graph)."""
+
+    event_id: int
+    task: str
+    core: int
+    start: int
+    end: int
+    exit_id: int
+    data_ready: int
+    param_objects: List[int] = field(default_factory=list)
+    #: per parameter: (producer event id, transfer latency paid)
+    inputs: List[Tuple[Optional[int], int]] = field(default_factory=list)
+    produced: List[int] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class SimResult:
+    """Outcome of one scheduling simulation."""
+
+    total_cycles: int
+    finished: bool
+    trace: List[TraceEvent]
+    core_busy: Dict[int, int]
+    invocations: Dict[str, int]
+    #: fraction of core-time spent busy — the paper's fallback metric for
+    #: profiles that do not terminate
+    utilization: float
+
+    def events_on_core(self, core: int) -> List[TraceEvent]:
+        return sorted(
+            (e for e in self.trace if e.core == core), key=lambda e: e.start
+        )
+
+
+class ExitChooser:
+    """Count-matching exit selection (deterministic low-discrepancy draw).
+
+    ``policy`` selects the realization of the paper's count-matching rule:
+    ``"sequence"`` (default) replays the profiled exit order, which keeps
+    simulated counts exactly equal to predicted counts at every prefix;
+    ``"counts"`` uses only the aggregate per-exit counts (quota matching
+    with a proportional fallback) — the ablation baseline.
+    """
+
+    def __init__(
+        self,
+        profile: ProfileData,
+        hints: Optional[Dict[str, str]] = None,
+        policy: str = "sequence",
+    ):
+        self.profile = profile
+        self.hints = hints or {}
+        self.policy = policy
+        self._taken: Dict[Tuple, int] = {}
+        self._total: Dict[Tuple, int] = {}
+
+    def choose(self, task: str, obj_key: Optional[int]) -> int:
+        exits = self.profile.exit_ids(task)
+        if not exits:
+            return 0
+        if len(exits) == 1:
+            return exits[0]
+        scope: Tuple
+        per_object = self.hints.get(task) == "per_object" and obj_key is not None
+        if per_object:
+            scope = (task, obj_key)
+        else:
+            scope = (task,)
+        n = self._total.get(scope, 0)
+        if not per_object and self.policy == "sequence":
+            # Replay the profiled exit order while it lasts: this keeps the
+            # simulated counts exactly equal to the counts predicted by the
+            # recorded statistics at every prefix — the optimum of the
+            # paper's count-matching criterion (it also reproduces periodic
+            # behaviour like "every 62nd invocation ends a round").
+            sequence = self.profile.exit_sequence(task)
+            if n < len(sequence):
+                chosen = sequence[n]
+                self._total[scope] = n + 1
+                key = scope + (chosen,)
+                self._taken[key] = self._taken.get(key, 0) + 1
+                return chosen
+        best_exit = exits[0]
+        best_score = (float("-inf"), float("-inf"))
+        for exit_id in exits:
+            prob = self.profile.exit_probability(task, exit_id)
+            taken = self._taken.get(scope + (exit_id,), 0)
+            # Primary criterion: remaining quota against the profile's
+            # absolute counts ("minimize the difference between these
+            # counts and the counts predicted by the recorded statistics").
+            # When every quota is spent (the simulated run is longer than
+            # the profiled one), fall back to proportional matching; ties
+            # resolve toward the more probable exit.
+            proportional = prob * (n + 1) - taken
+            if per_object:
+                # Per-object counters have no meaningful absolute quota.
+                score = (proportional, prob)
+            else:
+                quota = self.profile.exit_count(task, exit_id) - taken
+                score = (quota if quota > 0 else proportional - 1e9, prob)
+            if score > best_score:
+                best_score = score
+                best_exit = exit_id
+        self._total[scope] = n + 1
+        key = scope + (best_exit,)
+        self._taken[key] = self._taken.get(key, 0) + 1
+        return best_exit
+
+
+class SchedulingSimulator:
+    """Simulates one layout under a profile's Markov model."""
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        layout: Layout,
+        profile: ProfileData,
+        hints: Optional[Dict[str, str]] = None,
+        max_events: int = 2_000_000,
+        exit_policy: str = "sequence",
+        core_speeds: Optional[Dict[int, float]] = None,
+    ):
+        layout.validate(compiled.info)
+        self.core_speeds = core_speeds
+        self.compiled = compiled
+        self.info = compiled.info
+        self.layout = layout
+        self.profile = profile
+        self.router = Router(compiled.info, layout)
+        self.chooser = ExitChooser(profile, hints, policy=exit_policy)
+        self.max_events = max_events
+
+        self._events: List[Tuple[int, int, str, tuple]] = []
+        self._seq = 0
+        self._next_obj_id = 0
+        self._next_event_id = 0
+        self._rr_state: Dict[Tuple[int, str], int] = {}
+        self._alloc_carry: Dict[Tuple[str, int, int], float] = {}
+        self.busy_until: Dict[int, int] = {
+            core: costs.RUNTIME_INIT_COST for core in layout.cores_used()
+        }
+        self.param_sets: Dict[Tuple[int, str, int], Deque[QueueEntry]] = {}
+        self.ready: Dict[int, Deque[List[QueueEntry]]] = {}
+        for core in layout.cores_used():
+            self.ready[core] = deque()
+            for task in layout.tasks_on_core(core):
+                for index in range(len(self.info.task_info(task).decl.params)):
+                    self.param_sets[(core, task, index)] = deque()
+        self._ready_task: Dict[int, Deque[str]] = {
+            core: deque() for core in layout.cores_used()
+        }
+        self.trace: List[TraceEvent] = []
+        self.invocations: Dict[str, int] = {}
+        self.core_busy: Dict[int, int] = {c: 0 for c in layout.cores_used()}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+
+    def _new_object(
+        self, class_name: str, state: AState, tag_key: Optional[int]
+    ) -> SimObject:
+        obj = SimObject(
+            obj_id=self._next_obj_id,
+            class_name=class_name,
+            state=state,
+            tag_key=tag_key,
+        )
+        self._next_obj_id += 1
+        return obj
+
+    def _class_size(self, class_name: str) -> int:
+        return len(self.info.class_info(class_name).fields)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        startup_state = AState.make([builtins.STARTUP_FLAG])
+        startup = self._new_object(builtins.STARTUP_CLASS, startup_state, None)
+        self._route(startup, None, costs.RUNTIME_INIT_COST, producer_event=None)
+
+        processed = 0
+        finished = True
+        last_time = costs.RUNTIME_INIT_COST
+        while self._events:
+            processed += 1
+            if processed > self.max_events:
+                finished = False
+                break
+            time, _, kind, payload = heapq.heappop(self._events)
+            last_time = max(last_time, time)
+            if kind == "arrive":
+                core, task, param_index, entry = payload
+                self._arrive(core, task, param_index, entry, time)
+            elif kind == "kick":
+                (core,) = payload
+                self._dispatch(core, time)
+            else:  # pragma: no cover
+                raise ScheduleError(f"unknown sim event {kind}")
+
+        total = max([last_time] + list(self.busy_until.values()))
+        busy_time = sum(self.core_busy.values())
+        cores = max(1, len(self.core_busy))
+        utilization = busy_time / (cores * total) if total else 0.0
+        return SimResult(
+            total_cycles=total,
+            finished=finished,
+            trace=self.trace,
+            core_busy=dict(self.core_busy),
+            invocations=dict(self.invocations),
+            utilization=utilization,
+        )
+
+    # -- arrivals & invocation formation -----------------------------------------
+
+    def _arrive(
+        self, core: int, task: str, param_index: int, entry: QueueEntry, time: int
+    ) -> None:
+        self.param_sets[(core, task, param_index)].append(entry)
+        self._try_form(core, task, time)
+        if self._ready_task[core] and self.busy_until[core] <= time:
+            self._push(time, "kick", (core,))
+
+    def _try_form(self, core: int, task: str, time: int) -> None:
+        params = self.info.task_info(task).decl.params
+        sets = [
+            self.param_sets[(core, task, index)] for index in range(len(params))
+        ]
+        while all(sets):
+            if len(params) == 1:
+                combo: Optional[List[QueueEntry]] = [sets[0].popleft()]
+            else:
+                combo = self._pop_compatible(params, sets)
+            if combo is None:
+                return
+            self.ready[core].append(combo)
+            self._ready_task[core].append(task)
+
+    @staticmethod
+    def _pop_compatible(
+        params, sets: List[Deque[QueueEntry]]
+    ) -> Optional[List[QueueEntry]]:
+        shared = None
+        for param in params:
+            bindings = {g.binding for g in param.tag_guards}
+            shared = bindings if shared is None else shared & bindings
+        need_tag_match = bool(shared)
+
+        def match(combo: List[QueueEntry]) -> bool:
+            if not need_tag_match:
+                return True
+            keys = {entry.obj.tag_key for entry in combo}
+            return len(keys) == 1 and None not in keys
+
+        def search(index: int, chosen: List[QueueEntry]):
+            if index == len(sets):
+                return list(chosen) if match(chosen) else None
+            for entry in sets[index]:
+                chosen.append(entry)
+                found = search(index + 1, chosen)
+                chosen.pop()
+                if found is not None:
+                    return found
+            return None
+
+        combo = search(0, [])
+        if combo is None:
+            return None
+        for bucket, entry in zip(sets, combo):
+            bucket.remove(entry)
+        return combo
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _dispatch(self, core: int, time: int) -> None:
+        if self.busy_until[core] > time:
+            return
+        combo: Optional[List[QueueEntry]] = None
+        task = ""
+        while self.ready[core]:
+            candidate = self.ready[core].popleft()
+            candidate_task = self._ready_task[core].popleft()
+            params = self.info.task_info(candidate_task).decl.params
+            stale = [
+                (index, entry)
+                for index, (param, entry) in enumerate(zip(params, candidate))
+                if not guard_matches(param, entry.obj.state)
+            ]
+            if not stale:
+                combo = candidate
+                task = candidate_task
+                break
+            # Mirror the runtime: drop the invocation, put still-valid
+            # objects back in their sets, re-route stale objects by their
+            # current state.
+            stale_indices = {index for index, _ in stale}
+            for index, entry in enumerate(candidate):
+                if index in stale_indices:
+                    self._route(
+                        entry.obj, core, time, producer_event=entry.producer_event
+                    )
+                else:
+                    self.param_sets[(core, candidate_task, index)].appendleft(entry)
+            self._try_form(core, candidate_task, time)
+        if combo is None:
+            return
+
+        data_ready = max(entry.arrived_at for entry in combo)
+        start = max(time, self.busy_until[core])
+        first_obj = combo[0].obj
+        func = self.compiled.ir_program.tasks[task]
+        if self.profile.exit_ids(task):
+            exit_id = self.chooser.choose(task, first_obj.obj_id)
+            duration = max(1, int(round(self.profile.avg_cycles(task, exit_id))))
+        else:
+            # The profiled run never invoked this task (e.g. it lost every
+            # race for its objects). Fall back to the static exit table —
+            # the lowest explicit exit — so the simulated object still
+            # transitions, and charge a nominal duration.
+            exit_id = min(
+                (e for e in func.exits if e != 0), default=0
+            )
+            duration = UNPROFILED_TASK_CYCLES
+        duration = scale_duration(duration, core_speed(self.core_speeds, core))
+        end = start + duration
+
+        event = TraceEvent(
+            event_id=self._next_event_id,
+            task=task,
+            core=core,
+            start=start,
+            end=end,
+            exit_id=exit_id,
+            data_ready=data_ready,
+            param_objects=[entry.obj.obj_id for entry in combo],
+            inputs=[
+                (entry.producer_event, max(0, entry.arrived_at - start))
+                for entry in combo
+            ],
+        )
+        self._next_event_id += 1
+        self.trace.append(event)
+        self.invocations[task] = self.invocations.get(task, 0) + 1
+        self.core_busy[core] += duration
+        self.busy_until[core] = end
+
+        # Transition parameter objects per the exit's flag/tag actions.
+        spec = func.exits.get(exit_id)
+        for param_index, entry in enumerate(combo):
+            obj = entry.obj
+            if spec is not None:
+                updates = spec.flag_updates.get(param_index, {})
+                state = obj.state.with_flags(updates)
+                for action in spec.tag_updates.get(param_index, []):
+                    delta = 1 if action.op == "add" else -1
+                    state = state.with_tag_delta(action.tag_type, delta)
+                    if action.op == "add":
+                        # Tag this object with the invocation's key so it
+                        # pairs (via tag hashing) with objects the same
+                        # invocation allocated.
+                        obj.tag_key = event.event_id
+                    elif state.tag_count(action.tag_type) == 0:
+                        obj.tag_key = None
+                obj.state = state
+            self._route(obj, core, end, producer_event=event.event_id)
+
+        # Allocate new objects per the profile's expectations.
+        for site_id, avg in sorted(
+            self.profile.avg_allocs(task, exit_id).items()
+        ):
+            site = self.compiled.ir_program.alloc_sites.get(site_id)
+            if site is None:
+                continue
+            carry_key = (task, exit_id, site_id)
+            carry = self._alloc_carry.get(carry_key, 0.0) + avg
+            emit = int(carry)
+            self._alloc_carry[carry_key] = carry - emit
+            flags = [f for f, v in site.flag_inits.items() if v]
+            tags = {t: 1 for t in site.tag_types}
+            state = AState.make(flags, tags)
+            tag_key = event.event_id if site.tag_types else None
+            for _ in range(emit):
+                obj = self._new_object(site.class_name, state, tag_key)
+                event.produced.append(obj.obj_id)
+                self._route(obj, core, end, producer_event=event.event_id)
+
+        self._push(end, "kick", (core,))
+        for other in self.ready:
+            if other != core and self.ready[other] and self.busy_until[other] <= end:
+                self._push(end, "kick", (other,))
+
+    # -- routing --------------------------------------------------------------------
+
+    def _route(
+        self,
+        obj: SimObject,
+        sender: Optional[int],
+        time: int,
+        producer_event: Optional[int],
+    ) -> None:
+        consumers = self.router.consumers(obj.class_name, obj.state)
+        for task, param_index in consumers:
+            tag_hash = None
+            task_info = self.info.task_info(task)
+            if (
+                len(self.layout.cores_of(task)) > 1
+                and len(task_info.decl.params) > 1
+                and obj.tag_key is not None
+            ):
+                tag_hash = obj.tag_key
+            origin = sender if sender is not None else 0
+            dest = self.router.pick_core(task, self._rr_state, origin, tag_hash)
+            if sender is None or dest == sender:
+                latency = 0 if sender is None else costs.ENQUEUE_COST
+            else:
+                hops = self.layout.hops(sender, dest)
+                latency = (
+                    costs.MSG_SEND_COST
+                    + hops * costs.HOP_COST
+                    + costs.MSG_WORD_COST * self._class_size(obj.class_name)
+                    + costs.ENQUEUE_COST
+                )
+            entry = QueueEntry(
+                obj=obj, arrived_at=time + latency, producer_event=producer_event
+            )
+            self._push(time + latency, "arrive", (dest, task, param_index, entry))
+
+
+def estimate_layout(
+    compiled: "CompiledProgram",
+    layout: Layout,
+    profile: ProfileData,
+    hints: Optional[Dict[str, str]] = None,
+    core_speeds: Optional[Dict[int, float]] = None,
+) -> SimResult:
+    """Convenience wrapper: simulate one layout once."""
+    return SchedulingSimulator(
+        compiled, layout, profile, hints=hints, core_speeds=core_speeds
+    ).run()

@@ -1,0 +1,18 @@
+"""Semantic analysis: types, symbol tables, builtins, and the type checker."""
+
+from . import builtins, types
+from .symbols import ClassInfo, FieldInfo, MethodInfo, ProgramInfo, Scope, TaskInfo
+from .typecheck import analyze, check_program
+
+__all__ = [
+    "ClassInfo",
+    "FieldInfo",
+    "MethodInfo",
+    "ProgramInfo",
+    "Scope",
+    "TaskInfo",
+    "analyze",
+    "builtins",
+    "check_program",
+    "types",
+]

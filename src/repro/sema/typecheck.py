@@ -1,0 +1,555 @@
+"""Type checker and name resolution for Bamboo programs.
+
+The checker validates the Java-like imperative subset plus all Bamboo task
+constructs (guards, taskexit actions, allocation-site flag/tag initializers)
+and annotates the AST in place:
+
+* every expression node gets a ``.ty`` attribute (semantic type);
+* ``MethodCall`` nodes get ``.call_kind`` (``"method"`` / ``"builtin"`` /
+  ``"string"``) and ``.resolved`` (a :class:`MethodInfo` or
+  :class:`BuiltinFunction`);
+* ``FieldAccess`` nodes get ``.resolved_field`` or ``.is_array_length``;
+* ``NewObject`` nodes get ``.resolved_class`` and ``.resolved_ctor``;
+* ``VarRef`` nodes get ``.ref_kind`` (``"local"`` or ``"param"``).
+
+Language rules enforced beyond vanilla Java typing (paper §3):
+
+* tasks cannot use ``return`` — control leaves a task via ``taskexit`` or by
+  falling off the end of the body (an implicit action-free exit);
+* ``taskexit`` only appears in tasks, and its actions may only name task
+  parameters and flags declared on the parameter's class;
+* task parameters cannot be reassigned (their identity is what taskexit acts
+  on);
+* there are no global variables — code can only reach its parameters and
+  objects reachable from them (structural: the language has no statics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..lang import ast
+from ..lang.errors import SemanticError
+from . import builtins, types as ty
+from .symbols import ClassInfo, ProgramInfo, Scope, TaskInfo
+
+
+class _BodyChecker:
+    """Checks one method or task body."""
+
+    def __init__(
+        self,
+        info: ProgramInfo,
+        scope: Scope,
+        current_class: Optional[ClassInfo],
+        current_task: Optional[TaskInfo],
+        return_type: ty.Type,
+    ):
+        self.info = info
+        self.scope = scope
+        self.current_class = current_class
+        self.current_task = current_task
+        self.return_type = return_type
+        self.loop_depth = 0
+        self.task_param_names = (
+            {p.name for p in current_task.decl.params} if current_task else set()
+        )
+        self.tag_vars: dict = {}
+
+    # -- statements ----------------------------------------------------------
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scope.push()
+            for inner in stmt.statements:
+                self.check_stmt(inner)
+            self.scope.pop()
+        elif isinstance(stmt, ast.VarDeclStmt):
+            var_type = self.info.resolve(stmt.var_type, stmt.location)
+            if var_type == ty.VOID:
+                raise SemanticError("variables cannot have type void", stmt.location)
+            if stmt.init is not None:
+                init_type = self.check_expr(stmt.init)
+                if not ty.is_assignable(var_type, init_type):
+                    raise SemanticError(
+                        f"cannot initialize {var_type} variable '{stmt.name}' "
+                        f"with {init_type}",
+                        stmt.location,
+                    )
+            self.scope.declare(stmt.name, var_type, stmt.location)
+        elif isinstance(stmt, ast.TagDeclStmt):
+            if self.current_task is None:
+                raise SemanticError(
+                    "tag instances can only be created inside tasks", stmt.location
+                )
+            self.scope.declare(stmt.name, ty.TAG_HANDLE, stmt.location)
+            self.tag_vars[stmt.name] = stmt.tag_type
+        elif isinstance(stmt, ast.AssignStmt):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._expect_bool(stmt.cond)
+            self.check_stmt(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self.check_stmt(stmt.else_branch)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._expect_bool(stmt.cond)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.ForStmt):
+            self.scope.push()
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._expect_bool(stmt.cond)
+            if stmt.update is not None:
+                self.check_stmt(stmt.update)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.scope.pop()
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._check_return(stmt)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self.loop_depth == 0:
+                raise SemanticError("break/continue outside a loop", stmt.location)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr)
+        elif isinstance(stmt, ast.TaskExitStmt):
+            self._check_taskexit(stmt)
+        else:
+            raise SemanticError(
+                f"unsupported statement {type(stmt).__name__}", stmt.location
+            )
+
+    def _check_assign(self, stmt: ast.AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            if target.name in self.task_param_names:
+                raise SemanticError(
+                    f"cannot reassign task parameter '{target.name}'",
+                    stmt.location,
+                )
+            target_type = self.scope.lookup(target.name)
+            if target_type is None:
+                raise SemanticError(
+                    f"unknown variable '{target.name}'", target.location
+                )
+            target.ty = target_type
+            target.ref_kind = "local"
+        elif isinstance(target, (ast.FieldAccess, ast.ArrayIndex)):
+            target_type = self.check_expr(target)
+            if isinstance(target, ast.FieldAccess) and getattr(
+                target, "is_array_length", False
+            ):
+                raise SemanticError("cannot assign to array length", stmt.location)
+        else:
+            raise SemanticError("invalid assignment target", stmt.location)
+        value_type = self.check_expr(stmt.value)
+        if not ty.is_assignable(target_type, value_type):
+            raise SemanticError(
+                f"cannot assign {value_type} to {target_type}", stmt.location
+            )
+
+    def _check_return(self, stmt: ast.ReturnStmt) -> None:
+        if self.current_task is not None:
+            raise SemanticError(
+                "tasks exit via taskexit, not return", stmt.location
+            )
+        if stmt.value is None:
+            if self.return_type != ty.VOID:
+                raise SemanticError(
+                    f"missing return value (expected {self.return_type})",
+                    stmt.location,
+                )
+            return
+        value_type = self.check_expr(stmt.value)
+        if self.return_type == ty.VOID:
+            raise SemanticError("void method cannot return a value", stmt.location)
+        if not ty.is_assignable(self.return_type, value_type):
+            raise SemanticError(
+                f"cannot return {value_type} from a {self.return_type} method",
+                stmt.location,
+            )
+
+    def _check_taskexit(self, stmt: ast.TaskExitStmt) -> None:
+        if self.current_task is None:
+            raise SemanticError("taskexit outside a task", stmt.location)
+        seen = set()
+        for param_name, actions in stmt.actions:
+            if param_name not in self.task_param_names:
+                raise SemanticError(
+                    f"taskexit names unknown parameter '{param_name}'",
+                    stmt.location,
+                )
+            if param_name in seen:
+                raise SemanticError(
+                    f"taskexit lists parameter '{param_name}' twice", stmt.location
+                )
+            seen.add(param_name)
+            param = next(
+                p for p in self.current_task.decl.params if p.name == param_name
+            )
+            class_info = self.info.class_info(param.param_type.name)
+            for action in actions:
+                if isinstance(action, ast.FlagAction):
+                    if action.flag not in class_info.flags:
+                        raise SemanticError(
+                            f"class '{class_info.name}' has no flag "
+                            f"'{action.flag}'",
+                            stmt.location,
+                        )
+                elif isinstance(action, ast.TagAction):
+                    if self.scope.lookup(action.tag_var) != ty.TAG_HANDLE:
+                        raise SemanticError(
+                            f"'{action.tag_var}' is not a tag variable",
+                            stmt.location,
+                        )
+                else:  # pragma: no cover - parser invariant
+                    raise SemanticError("invalid taskexit action", stmt.location)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expect_bool(self, expr: ast.Expr) -> None:
+        expr_type = self.check_expr(expr)
+        if expr_type != ty.BOOL:
+            raise SemanticError(
+                f"condition must be boolean, got {expr_type}", expr.location
+            )
+
+    def check_expr(self, expr: ast.Expr) -> ty.Type:
+        result = self._check_expr(expr)
+        expr.ty = result
+        return result
+
+    def _check_expr(self, expr: ast.Expr) -> ty.Type:
+        if isinstance(expr, ast.IntLit):
+            return ty.INT
+        if isinstance(expr, ast.FloatLit):
+            return ty.FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return ty.BOOL
+        if isinstance(expr, ast.StringLit):
+            return ty.STRING
+        if isinstance(expr, ast.NullLit):
+            return ty.NULL
+        if isinstance(expr, ast.ThisRef):
+            if self.current_class is None:
+                raise SemanticError("'this' outside a method", expr.location)
+            return ty.ClassType(self.current_class.name)
+        if isinstance(expr, ast.VarRef):
+            var_type = self.scope.lookup(expr.name)
+            if var_type is None:
+                raise SemanticError(f"unknown variable '{expr.name}'", expr.location)
+            expr.ref_kind = "param" if expr.name in self.task_param_names else "local"
+            return var_type
+        if isinstance(expr, ast.FieldAccess):
+            return self._check_field_access(expr)
+        if isinstance(expr, ast.ArrayIndex):
+            array_type = self.check_expr(expr.array)
+            if not isinstance(array_type, ty.ArrayType):
+                raise SemanticError(
+                    f"indexing a non-array of type {array_type}", expr.location
+                )
+            index_type = self.check_expr(expr.index)
+            if index_type != ty.INT:
+                raise SemanticError(
+                    f"array index must be int, got {index_type}", expr.location
+                )
+            return array_type.elem
+        if isinstance(expr, ast.MethodCall):
+            return self._check_call(expr)
+        if isinstance(expr, ast.NewObject):
+            return self._check_new_object(expr)
+        if isinstance(expr, ast.NewArray):
+            elem_type = self.info.resolve(expr.elem_type, expr.location)
+            if elem_type == ty.VOID:
+                raise SemanticError("cannot allocate void arrays", expr.location)
+            for dim in expr.dims:
+                if self.check_expr(dim) != ty.INT:
+                    raise SemanticError(
+                        "array dimensions must be int", expr.location
+                    )
+            result: ty.Type = elem_type
+            for _ in range(len(expr.dims) + expr.extra_dims):
+                result = ty.ArrayType(result)
+            return result
+        if isinstance(expr, ast.Binary):
+            left = self.check_expr(expr.left)
+            right = self.check_expr(expr.right)
+            try:
+                return ty.binary_result(expr.op, left, right)
+            except TypeError as exc:
+                raise SemanticError(str(exc), expr.location) from None
+        if isinstance(expr, ast.Unary):
+            operand = self.check_expr(expr.operand)
+            if expr.op == "-":
+                if not operand.is_numeric():
+                    raise SemanticError(
+                        f"unary '-' needs a numeric operand, got {operand}",
+                        expr.location,
+                    )
+                return operand
+            if expr.op == "!":
+                if operand != ty.BOOL:
+                    raise SemanticError(
+                        f"'!' needs a boolean operand, got {operand}", expr.location
+                    )
+                return ty.BOOL
+            raise SemanticError(f"unknown unary operator '{expr.op}'", expr.location)
+        if isinstance(expr, ast.Cast):
+            operand = self.check_expr(expr.operand)
+            target = self.info.resolve(expr.target, expr.location)
+            if target in (ty.INT, ty.FLOAT) and operand.is_numeric():
+                return target
+            raise SemanticError(
+                f"cannot cast {operand} to {target}", expr.location
+            )
+        raise SemanticError(
+            f"unsupported expression {type(expr).__name__}", expr.location
+        )
+
+    def _check_field_access(self, expr: ast.FieldAccess) -> ty.Type:
+        receiver_type = self.check_expr(expr.receiver)
+        if isinstance(receiver_type, ty.ArrayType):
+            if expr.field_name == "length":
+                expr.is_array_length = True
+                return ty.INT
+            raise SemanticError(
+                f"arrays have no field '{expr.field_name}'", expr.location
+            )
+        if isinstance(receiver_type, ty.ClassType):
+            class_info = self.info.class_info(receiver_type.name)
+            field_info = class_info.fields.get(expr.field_name)
+            if field_info is None:
+                raise SemanticError(
+                    f"class '{receiver_type.name}' has no field "
+                    f"'{expr.field_name}'",
+                    expr.location,
+                )
+            expr.resolved_field = field_info
+            return field_info.type
+        raise SemanticError(
+            f"cannot access field '{expr.field_name}' on {receiver_type}",
+            expr.location,
+        )
+
+    def _check_call(self, expr: ast.MethodCall) -> ty.Type:
+        # Builtin namespace call: Math.sqrt(...) where Math is not a variable.
+        if (
+            isinstance(expr.receiver, ast.VarRef)
+            and self.scope.lookup(expr.receiver.name) is None
+            and expr.receiver.name in builtins.NAMESPACES
+        ):
+            fn = builtins.lookup_namespace_function(expr.receiver.name, expr.name)
+            if fn is None:
+                raise SemanticError(
+                    f"unknown builtin '{expr.receiver.name}.{expr.name}'",
+                    expr.location,
+                )
+            self._check_args(expr, list(fn.param_types), fn.key)
+            expr.call_kind = "builtin"
+            expr.resolved = fn
+            return fn.return_type
+
+        if expr.receiver is None:
+            # Unqualified call: a method on 'this'.
+            if self.current_class is None:
+                raise SemanticError(
+                    f"unknown function '{expr.name}' (unqualified calls are "
+                    "only valid inside methods)",
+                    expr.location,
+                )
+            method = self.current_class.methods.get(expr.name)
+            if method is None:
+                raise SemanticError(
+                    f"class '{self.current_class.name}' has no method "
+                    f"'{expr.name}'",
+                    expr.location,
+                )
+            self._check_args(expr, method.param_types, method.qualified_name)
+            expr.call_kind = "method"
+            expr.resolved = method
+            expr.implicit_this = True
+            return method.return_type
+
+        receiver_type = self.check_expr(expr.receiver)
+        if receiver_type == ty.STRING:
+            fn = builtins.lookup_string_method(expr.name)
+            if fn is None:
+                raise SemanticError(
+                    f"String has no method '{expr.name}'", expr.location
+                )
+            # First parameter of a String method is the receiver itself.
+            self._check_args(expr, list(fn.param_types[1:]), fn.key)
+            expr.call_kind = "string"
+            expr.resolved = fn
+            return fn.return_type
+        if isinstance(receiver_type, ty.ClassType):
+            class_info = self.info.class_info(receiver_type.name)
+            method = class_info.methods.get(expr.name)
+            if method is None:
+                raise SemanticError(
+                    f"class '{receiver_type.name}' has no method '{expr.name}'",
+                    expr.location,
+                )
+            self._check_args(expr, method.param_types, method.qualified_name)
+            expr.call_kind = "method"
+            expr.resolved = method
+            expr.implicit_this = False
+            return method.return_type
+        raise SemanticError(
+            f"cannot call method '{expr.name}' on {receiver_type}", expr.location
+        )
+
+    def _check_args(
+        self, expr: ast.MethodCall, param_types: List[ty.Type], name: str
+    ) -> None:
+        if len(expr.args) != len(param_types):
+            raise SemanticError(
+                f"{name} expects {len(param_types)} arguments, got "
+                f"{len(expr.args)}",
+                expr.location,
+            )
+        for arg, param_type in zip(expr.args, param_types):
+            arg_type = self.check_expr(arg)
+            if not ty.is_assignable(param_type, arg_type):
+                raise SemanticError(
+                    f"argument of type {arg_type} does not match parameter "
+                    f"type {param_type} in call to {name}",
+                    arg.location,
+                )
+
+    def _check_new_object(self, expr: ast.NewObject) -> ty.Type:
+        class_info = self.info.classes.get(expr.class_name)
+        if class_info is None:
+            raise SemanticError(
+                f"unknown class '{expr.class_name}'", expr.location
+            )
+        ctor = class_info.constructor
+        if ctor is None:
+            if expr.args:
+                raise SemanticError(
+                    f"class '{expr.class_name}' has no constructor but "
+                    "arguments were supplied",
+                    expr.location,
+                )
+        else:
+            if len(expr.args) != len(ctor.param_types):
+                raise SemanticError(
+                    f"constructor of '{expr.class_name}' expects "
+                    f"{len(ctor.param_types)} arguments, got {len(expr.args)}",
+                    expr.location,
+                )
+            for arg, param_type in zip(expr.args, ctor.param_types):
+                arg_type = self.check_expr(arg)
+                if not ty.is_assignable(param_type, arg_type):
+                    raise SemanticError(
+                        f"constructor argument of type {arg_type} does not "
+                        f"match parameter type {param_type}",
+                        arg.location,
+                    )
+        for action in expr.flag_inits:
+            if action.flag not in class_info.flags:
+                raise SemanticError(
+                    f"class '{expr.class_name}' has no flag '{action.flag}'",
+                    expr.location,
+                )
+        for action in expr.tag_inits:
+            if action.op != "add":
+                raise SemanticError(
+                    "only 'add' tag actions are allowed at allocation",
+                    expr.location,
+                )
+            if self.scope.lookup(action.tag_var) != ty.TAG_HANDLE:
+                raise SemanticError(
+                    f"'{action.tag_var}' is not a tag variable", expr.location
+                )
+        if expr.flag_inits and self.current_task is None:
+            raise SemanticError(
+                "allocation-site flag initializers are only allowed in tasks "
+                "(methods cannot change abstract object states)",
+                expr.location,
+            )
+        expr.resolved_class = class_info
+        expr.resolved_ctor = ctor
+        return ty.ClassType(expr.class_name)
+
+
+def _check_flag_guard(guard: ast.FlagExpr, class_info: ClassInfo, location) -> None:
+    if isinstance(guard, ast.FlagRef):
+        if guard.name not in class_info.flags:
+            raise SemanticError(
+                f"class '{class_info.name}' has no flag '{guard.name}'", location
+            )
+    elif isinstance(guard, ast.FlagNot):
+        _check_flag_guard(guard.operand, class_info, location)
+    elif isinstance(guard, (ast.FlagAnd, ast.FlagOr)):
+        _check_flag_guard(guard.left, class_info, location)
+        _check_flag_guard(guard.right, class_info, location)
+    elif isinstance(guard, ast.FlagConst):
+        pass
+    else:  # pragma: no cover - parser invariant
+        raise SemanticError("invalid flag guard", location)
+
+
+def check_program(info: ProgramInfo) -> None:
+    """Type-checks the whole program in place (annotating the AST)."""
+    # Methods.
+    for class_info in info.classes.values():
+        methods = list(class_info.methods.values())
+        if class_info.constructor is not None:
+            methods.append(class_info.constructor)
+        for method in methods:
+            scope = Scope()
+            for param, param_type in zip(method.decl.params, method.param_types):
+                if param_type == ty.VOID:
+                    raise SemanticError(
+                        "parameters cannot have type void", param.location
+                    )
+                scope.declare(param.name, param_type, param.location)
+            checker = _BodyChecker(
+                info,
+                scope,
+                current_class=class_info,
+                current_task=None,
+                return_type=method.return_type,
+            )
+            checker.check_stmt(method.decl.body)
+
+    # Tasks.
+    for task_info in info.tasks.values():
+        scope = Scope()
+        task = task_info.decl
+        binding_types: dict = {}
+        for param in task.params:
+            class_info = info.class_info(param.param_type.name)
+            _check_flag_guard(param.guard, class_info, param.location)
+            for tag_guard in param.tag_guards:
+                previous = binding_types.get(tag_guard.binding)
+                if previous is not None and previous != tag_guard.tag_type:
+                    raise SemanticError(
+                        f"tag binding '{tag_guard.binding}' in task "
+                        f"'{task.name}' is used with two tag types "
+                        f"('{previous}' and '{tag_guard.tag_type}')",
+                        param.location,
+                    )
+                binding_types[tag_guard.binding] = tag_guard.tag_type
+            scope.declare(
+                param.name, ty.ClassType(param.param_type.name), param.location
+            )
+        checker = _BodyChecker(
+            info,
+            scope,
+            current_class=None,
+            current_task=task_info,
+            return_type=ty.VOID,
+        )
+        checker.check_stmt(task.body)
+
+
+def analyze(program: ast.Program) -> ProgramInfo:
+    """Builds symbol tables and type-checks ``program``; returns the info."""
+    info = ProgramInfo(program)
+    check_program(info)
+    return info

@@ -1,0 +1,179 @@
+"""Semantic types for the Bamboo type checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.errors import SemanticError, SourceLocation
+
+
+class Type:
+    """Base class for semantic types."""
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_reference(self) -> bool:
+        return False
+
+
+class _Singleton(Type):
+    _NAME = "?"
+
+    def __str__(self) -> str:
+        return self._NAME
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntType(_Singleton):
+    _NAME = "int"
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class FloatType(_Singleton):
+    _NAME = "float"
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class BoolType(_Singleton):
+    _NAME = "boolean"
+
+
+class StringType(_Singleton):
+    _NAME = "String"
+
+    def is_reference(self) -> bool:
+        return True
+
+
+class VoidType(_Singleton):
+    _NAME = "void"
+
+
+class NullType(_Singleton):
+    """The type of the ``null`` literal; assignable to any reference type."""
+
+    _NAME = "null"
+
+    def is_reference(self) -> bool:
+        return True
+
+
+class TagHandleType(_Singleton):
+    """The type of ``tag`` variables created by ``tag t = new tag(T)``."""
+
+    _NAME = "tag"
+
+
+INT = IntType()
+FLOAT = FloatType()
+BOOL = BoolType()
+STRING = StringType()
+VOID = VoidType()
+NULL = NullType()
+TAG_HANDLE = TagHandleType()
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def is_reference(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"{self.elem}[]"
+
+    def is_reference(self) -> bool:
+        return True
+
+
+def resolve_type(
+    node: ast.TypeNode, class_names: frozenset, location: SourceLocation
+) -> Type:
+    """Resolves a syntactic :class:`~repro.lang.ast.TypeNode` to a semantic
+    type, checking class-name references against ``class_names``."""
+    base: Type
+    if node.name == "int":
+        base = INT
+    elif node.name == "float":
+        base = FLOAT
+    elif node.name == "boolean":
+        base = BOOL
+    elif node.name == "String":
+        base = STRING
+    elif node.name == "void":
+        base = VOID
+    elif node.name in class_names:
+        base = ClassType(node.name)
+    else:
+        raise SemanticError(f"unknown type '{node.name}'", location)
+    for _ in range(node.dims):
+        base = ArrayType(base)
+    return base
+
+
+def is_assignable(target: Type, value: Type) -> bool:
+    """Whether a value of type ``value`` can be stored into ``target``."""
+    if target == value:
+        return True
+    if target == FLOAT and value == INT:
+        return True
+    if target.is_reference() and value == NULL:
+        return True
+    return False
+
+
+def binary_result(op: str, left: Type, right: Type) -> Type:
+    """Result type of ``left op right``; raises ``TypeError`` on mismatch.
+
+    The caller (typechecker) translates the ``TypeError`` into a
+    :class:`SemanticError` with a source location.
+    """
+    if op == "+" and (left == STRING or right == STRING):
+        if left in (STRING, INT, FLOAT, BOOL) and right in (STRING, INT, FLOAT, BOOL):
+            return STRING
+        raise TypeError(f"cannot concatenate {left} and {right}")
+    if op in ("+", "-", "*", "/"):
+        if left.is_numeric() and right.is_numeric():
+            return FLOAT if FLOAT in (left, right) else INT
+        raise TypeError(f"operator '{op}' needs numeric operands, got {left}, {right}")
+    if op == "%":
+        if left == INT and right == INT:
+            return INT
+        raise TypeError(f"operator '%' needs int operands, got {left}, {right}")
+    if op in ("<", ">", "<=", ">="):
+        if left.is_numeric() and right.is_numeric():
+            return BOOL
+        raise TypeError(f"operator '{op}' needs numeric operands, got {left}, {right}")
+    if op in ("==", "!="):
+        if left.is_numeric() and right.is_numeric():
+            return BOOL
+        if left == right:
+            return BOOL
+        if left.is_reference() and right.is_reference():
+            return BOOL
+        raise TypeError(f"cannot compare {left} and {right}")
+    if op in ("&&", "||"):
+        if left == BOOL and right == BOOL:
+            return BOOL
+        raise TypeError(f"operator '{op}' needs boolean operands, got {left}, {right}")
+    raise TypeError(f"unknown binary operator '{op}'")

@@ -1,0 +1,77 @@
+"""Plain-text renderings of traces and histograms for terminal output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..schedule.critpath import CriticalPath
+from ..schedule.simulator import SimResult
+
+
+def render_trace(result: SimResult, max_events: int = 60) -> str:
+    """A per-core timeline of the simulated execution (Figure 6 style)."""
+    lines = [f"simulated execution: {result.total_cycles} cycles, "
+             f"{len(result.trace)} invocations"]
+    for core in sorted(result.core_busy):
+        events = result.events_on_core(core)
+        lines.append(f"core {core}:")
+        for event in events[:max_events]:
+            wait = event.start - event.data_ready
+            wait_note = f" (waited {wait})" if wait > 0 else ""
+            lines.append(
+                f"  [{event.start:>8} - {event.end:>8}] {event.task}"
+                f"#{event.exit_id}{wait_note}"
+            )
+        if len(events) > max_events:
+            lines.append(f"  ... {len(events) - max_events} more")
+    return "\n".join(lines)
+
+
+def render_critical_path(path: CriticalPath) -> str:
+    return path.format()
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """An ASCII histogram (used for the Figure 10 distributions)."""
+    if not values:
+        return f"{label}: (no data)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return f"{label}: all {len(values)} values = {lo:.0f}"
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / span))
+        counts[index] += 1
+    peak = max(counts)
+    lines = [f"{label} (n={len(values)}, min={lo:.0f}, max={hi:.0f}):"]
+    for index, count in enumerate(counts):
+        left = lo + index * span
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        pct = 100.0 * count / len(values)
+        lines.append(f"  {left:>12.0f} | {bar} {pct:.1f}%")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table rendering for benchmark reports."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

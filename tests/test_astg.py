@@ -1,0 +1,128 @@
+"""Dependence analysis (ASTG) tests."""
+
+from repro.analysis.astate import AState
+from repro.analysis.astg import build_all_astgs, build_astg
+from repro.core import compile_program
+
+
+def astgs_of(source: str):
+    compiled = compile_program(source)
+    return compiled, build_all_astgs(compiled.info, compiled.ir_program)
+
+
+class TestKeywordASTGs:
+    def test_text_states(self, keyword_compiled):
+        astg = keyword_compiled.astgs["Text"]
+        labels = {s.label() for s in astg.states}
+        assert labels == {"{process}", "{submit}", "{}"}
+
+    def test_text_initial_state(self, keyword_compiled):
+        astg = keyword_compiled.astgs["Text"]
+        initial = list(astg.initial)
+        assert len(initial) == 1
+        assert initial[0] == AState.make(["process"])
+
+    def test_text_transitions(self, keyword_compiled):
+        astg = keyword_compiled.astgs["Text"]
+        edges = {(e.src.label(), e.task, e.dst.label()) for e in astg.edges}
+        assert ("{process}", "processText", "{submit}") in edges
+        assert ("{submit}", "mergeIntermediateResult", "{}") in edges
+
+    def test_results_self_loop(self, keyword_compiled):
+        astg = keyword_compiled.astgs["Results"]
+        loops = [e for e in astg.edges if e.src == e.dst]
+        assert any(e.task == "mergeIntermediateResult" for e in loops)
+
+    def test_startup_object_astg(self, keyword_compiled):
+        astg = keyword_compiled.astgs["StartupObject"]
+        assert AState.make(["initialstate"]) in astg.initial
+        assert astg.initial[AState.make(["initialstate"])] == [-1]
+
+    def test_exit_ids_recorded_on_edges(self, keyword_compiled):
+        astg = keyword_compiled.astgs["Text"]
+        merge_exits = {
+            e.exit_id for e in astg.edges if e.task == "mergeIntermediateResult"
+        }
+        assert merge_exits == {1, 2}
+
+
+class TestTagStates:
+    def test_tagged_allocation_state(self, tagged_compiled):
+        astg = tagged_compiled.astgs["Image"]
+        initial = list(astg.initial)
+        assert len(initial) == 1
+        assert initial[0].tag_count("saveop") == 1
+        assert "uncompressed" in initial[0].flags
+
+    def test_tag_add_transition(self, tagged_compiled):
+        astg = tagged_compiled.astgs["Drawing"]
+        # startsave adds the saveop tag while moving dirty -> saving.
+        saving = [
+            e for e in astg.edges if e.task == "startsave"
+        ]
+        assert saving
+        assert all(e.dst.tag_count("saveop") == 1 for e in saving)
+
+
+class TestWorklist:
+    def test_unreached_states_not_materialized(self):
+        source = """
+        class F { flag a; flag b; flag c; }
+        task startup(StartupObject s in initialstate) {
+            F f = new F(){a := true};
+            taskexit(s: initialstate := false);
+        }
+        task step(F f in a) {
+            taskexit(f: a := false, b := true);
+        }
+        """
+        _, astgs = astgs_of(source)
+        labels = {s.label() for s in astgs["F"].states}
+        # flag c is never set; no state containing c should exist.
+        assert labels == {"{a}", "{b}"}
+
+    def test_unreachable_exit_ignored(self):
+        source = """
+        class F { flag a; flag b; }
+        task startup(StartupObject s in initialstate) {
+            F f = new F(){a := true};
+            taskexit(s: initialstate := false);
+        }
+        task step(F f in a) {
+            if (true) {
+                taskexit(f: a := false);
+            }
+            taskexit(f: b := true);
+        }
+        """
+        # Both exits are syntactically reachable in the CFG (the analysis
+        # does not evaluate conditions), so both transitions appear.
+        _, astgs = astgs_of(source)
+        labels = {s.label() for s in astgs["F"].states}
+        assert "{a,b}" in labels or "{b}" in labels
+
+    def test_method_allocations_do_not_seed_states(self):
+        source = """
+        class F { flag a; }
+        class Maker {
+            Maker() { }
+            F make() { return new F(); }
+        }
+        task startup(StartupObject s in initialstate) {
+            Maker m = new Maker();
+            F f = m.make();
+            taskexit(s: initialstate := false);
+        }
+        task consume(F f in a) { taskexit(f: a := false); }
+        """
+        _, astgs = astgs_of(source)
+        # The only F allocation is inside a method: the global object space
+        # never sees it, so F has no initial states.
+        assert astgs["F"].initial == {}
+
+    def test_build_astg_single_class(self, keyword_compiled):
+        astg = build_astg(
+            keyword_compiled.info, keyword_compiled.ir_program, "Text"
+        )
+        assert astg.class_name == "Text"
+        assert astg.states

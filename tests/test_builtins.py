@@ -1,0 +1,96 @@
+"""Coverage of the builtin library surface."""
+
+import math
+
+import pytest
+
+from repro.core import compile_program, run_sequential
+from repro.sema import builtins
+
+
+def run_print(expr: str, kind: str = "Float") -> str:
+    source = (
+        "class SeqMain { SeqMain() { } void run(String[] args) "
+        "{ System.print%s(%s); } } "
+        "task startup(StartupObject s in initialstate) "
+        "{ taskexit(s: initialstate := false); }" % (kind, expr)
+    )
+    return run_sequential(compile_program(source), ["0"]).stdout
+
+
+class TestMathBuiltins:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("Math.sqrt(9.0)", 3.0),
+            ("Math.sin(0.0)", 0.0),
+            ("Math.cos(0.0)", 1.0),
+            ("Math.tan(0.0)", 0.0),
+            ("Math.atan(1.0)", math.atan(1.0)),
+            ("Math.atan2(1.0, 1.0)", math.atan2(1.0, 1.0)),
+            ("Math.exp(0.0)", 1.0),
+            ("Math.log(1.0)", 0.0),
+            ("Math.pow(2.0, 10.0)", 1024.0),
+            ("Math.abs(-2.5)", 2.5),
+            ("Math.min(1.0, 2.0)", 1.0),
+            ("Math.max(1.0, 2.0)", 2.0),
+            ("Math.floor(2.7)", 2.0),
+            ("Math.ceil(2.2)", 3.0),
+        ],
+    )
+    def test_float_functions(self, expr, expected):
+        assert float(run_print(expr)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("Math.iabs(-4)", "4"),
+            ("Math.imin(3, 7)", "3"),
+            ("Math.imax(3, 7)", "7"),
+        ],
+    )
+    def test_int_functions(self, expr, expected):
+        assert run_print(expr, kind="Int") == expected
+
+
+class TestStringBuiltins:
+    def test_index_of(self):
+        assert run_print('"hello".indexOf("ll")', kind="Int") == "2"
+        assert run_print('"hello".indexOf("zz")', kind="Int") == "-1"
+
+    def test_hash_code_deterministic(self):
+        first = run_print('"abc".hashCode()', kind="Int")
+        second = run_print('"abc".hashCode()', kind="Int")
+        assert first == second
+
+    def test_value_of(self):
+        assert run_print('String.valueOf(42)', kind="String") == "42"
+
+    def test_substring_bounds(self):
+        assert run_print('"abcdef".substring(1, 4)', kind="String") == "bcd"
+
+
+class TestBuiltinTable:
+    def test_all_builtins_have_positive_cost(self):
+        for fn in builtins.all_builtins():
+            assert fn.cost > 0, fn.key
+
+    def test_keys_unique(self):
+        keys = [fn.key for fn in builtins.all_builtins()]
+        assert len(keys) == len(set(keys))
+
+    def test_lookup_by_key(self):
+        fn = builtins.builtin_by_key("Math.sqrt")
+        assert fn.qualifier == "Math"
+        with pytest.raises(KeyError):
+            builtins.builtin_by_key("Math.nope")
+
+    def test_namespace_lookup(self):
+        assert builtins.lookup_namespace_function("Math", "sqrt") is not None
+        assert builtins.lookup_namespace_function("Math", "nope") is None
+        assert builtins.lookup_string_method("length") is not None
+        assert builtins.lookup_string_method("nope") is None
+
+    def test_namespaces_frozen(self):
+        assert "Math" in builtins.NAMESPACES
+        assert "System" in builtins.NAMESPACES

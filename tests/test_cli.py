@@ -1,0 +1,83 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+from conftest import KEYWORD_SOURCE
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "keyword.bam"
+    path.write_text(KEYWORD_SOURCE)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_prints_tasks_and_locks(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "processText" in out
+        assert "lock plan" in out
+        assert "fine-grained" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.bam"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_program_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.bam"
+        path.write_text("class A { int x; int x; }")
+        assert main(["compile", str(path)]) == 1
+        assert "duplicate field" in capsys.readouterr().err
+
+
+class TestSeqCommand:
+    def test_runs_and_prints(self, program_file, capsys):
+        assert main(["seq", program_file, "4"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "total=8"
+        assert "cycles" in captured.err
+
+
+class TestRunCommand:
+    def test_single_core(self, program_file, capsys):
+        assert main(["run", program_file, "4", "--cores", "1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "total=8"
+
+    def test_multi_core_with_synthesis(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "6", "--cores", "4", "--verbose"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "total=12"
+        assert "Layout on 4 cores" in captured.err
+        assert "synthesis" in captured.err
+
+
+class TestCstgCommand:
+    def test_text_output(self, program_file, capsys):
+        assert main(["cstg", program_file, "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CSTG:" in out
+        assert "Text:{process}" in out
+
+    def test_dot_output(self, program_file, capsys):
+        assert main(["cstg", program_file, "4", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+
+class TestBenchCommand:
+    def test_unknown_benchmark(self, capsys):
+        assert main(["bench", "Nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_small_bench_run(self, capsys):
+        # Keyword is the cheapest benchmark; 4 cores keeps synthesis small.
+        assert main(["bench", "Keyword", "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs Bamboo" in out
+        assert "outputs match       : True" in out

@@ -1,0 +1,146 @@
+"""Tests for competing tasks and stale-invocation handling.
+
+Bamboo allows several tasks to guard the same abstract state: whichever
+invocation dispatches first wins the object; the loser's queued invocation
+must be detected as stale at dispatch (guard recheck) and its objects
+re-routed according to their current state (§4.7). These tests exercise
+that machinery directly on the machine and the scheduling simulator.
+"""
+
+import pytest
+
+from repro.core import compile_program, profile_program, run_layout
+from repro.schedule.layout import Layout
+from repro.schedule.simulator import estimate_layout
+
+# Two worker tasks compete for every Job object; each marks how many jobs
+# it won. A Job can only be won once (the winner clears `ready`).
+COMPETITION_SOURCE = """
+class Job {
+    flag ready;
+    flag doneA;
+    flag doneB;
+    int id;
+    Job(int id) { this.id = id; }
+    void spin(int amount) {
+        int x = 0;
+        for (int i = 0; i < amount; i++) x = x + i;
+    }
+}
+
+class Score {
+    flag open;
+    flag closed;
+    int a;
+    int b;
+    int expected;
+    Score(int expected) { this.expected = expected; this.a = 0; this.b = 0; }
+    boolean creditA() { this.a = this.a + 1; return this.total() == this.expected; }
+    boolean creditB() { this.b = this.b + 1; return this.total() == this.expected; }
+    int total() { return this.a + this.b; }
+}
+
+task startup(StartupObject s in initialstate) {
+    int jobs = Integer.parseInt(s.args[0]);
+    for (int i = 0; i < jobs; i++) {
+        Job j = new Job(i){ready := true};
+    }
+    Score score = new Score(jobs){open := true};
+    taskexit(s: initialstate := false);
+}
+
+task workerA(Job j in ready) {
+    j.spin(60);
+    taskexit(j: ready := false, doneA := true);
+}
+
+task workerB(Job j in ready) {
+    j.spin(60);
+    taskexit(j: ready := false, doneB := true);
+}
+
+task tallyA(Score score in open, Job j in doneA) {
+    boolean complete = score.creditA();
+    if (complete) {
+        System.printString("jobs=" + score.total());
+        taskexit(score: open := false, closed := true; j: doneA := false);
+    }
+    taskexit(j: doneA := false);
+}
+
+task tallyB(Score score in open, Job j in doneB) {
+    boolean complete = score.creditB();
+    if (complete) {
+        System.printString("jobs=" + score.total());
+        taskexit(score: open := false, closed := true; j: doneB := false);
+    }
+    taskexit(j: doneB := false);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def competition():
+    return compile_program(COMPETITION_SOURCE, "competition")
+
+
+class TestCompetingTasks:
+    def test_every_job_won_exactly_once_single_core(self, competition):
+        layout = Layout.single_core(competition.info.tasks)
+        result = run_layout(competition, layout, ["10"])
+        wins = result.invocations.get("workerA", 0) + result.invocations.get(
+            "workerB", 0
+        )
+        assert wins == 10
+        assert result.stdout == "jobs=10"
+
+    def test_every_job_won_exactly_once_multi_core(self, competition):
+        mapping = {t: [0] for t in competition.info.tasks}
+        mapping["workerA"] = [1, 2]
+        mapping["workerB"] = [2, 3]
+        layout = Layout.make(4, mapping)
+        result = run_layout(competition, layout, ["12"])
+        wins = result.invocations.get("workerA", 0) + result.invocations.get(
+            "workerB", 0
+        )
+        assert wins == 12
+        assert result.stdout == "jobs=12"
+
+    def test_stale_invocations_detected(self, competition):
+        # Both workers enqueue every job: each job's losing invocation is
+        # detected as stale at dispatch.
+        mapping = {t: [0] for t in competition.info.tasks}
+        mapping["workerA"] = [1]
+        mapping["workerB"] = [2]
+        layout = Layout.make(3, mapping)
+        result = run_layout(competition, layout, ["8"])
+        assert result.stale_invocations > 0
+        assert result.stdout == "jobs=8"
+
+    def test_deterministic_split(self, competition):
+        layout = Layout.single_core(competition.info.tasks)
+        first = run_layout(competition, layout, ["9"])
+        second = run_layout(competition, layout, ["9"])
+        assert first.invocations == second.invocations
+
+    def test_simulator_handles_competition(self, competition):
+        layout = Layout.single_core(competition.info.tasks)
+        profile = profile_program(competition, ["10"])
+        estimate = estimate_layout(competition, layout, profile)
+        real = run_layout(competition, layout, ["10"])
+        assert estimate.finished
+        error = abs(estimate.total_cycles - real.total_cycles) / real.total_cycles
+        assert error < 0.15
+
+    def test_simulator_stale_path_on_multi_core(self, competition):
+        mapping = {t: [0] for t in competition.info.tasks}
+        mapping["workerA"] = [1]
+        mapping["workerB"] = [2]
+        layout = Layout.make(3, mapping)
+        profile = profile_program(competition, ["10"])
+        estimate = estimate_layout(competition, layout, profile)
+        assert estimate.finished
+        sim_wins = estimate.invocations.get("workerA", 0) + estimate.invocations.get(
+            "workerB", 0
+        )
+        assert sim_wins == 10

@@ -1,0 +1,118 @@
+"""Tests for the compile-time diagnostics."""
+
+import pytest
+
+from repro.analysis.diagnostics import analyze_diagnostics, warnings_only
+from repro.core import compile_program
+
+
+def diagnostics_of(source: str):
+    compiled = compile_program(source)
+    return analyze_diagnostics(
+        compiled.info, compiled.ir_program, compiled.astgs
+    )
+
+
+def kinds(diagnostics):
+    return {(d.kind, d.subject) for d in diagnostics}
+
+
+BASE = """
+class Job { flag ready; flag done; int v; Job(int v) { this.v = v; } }
+task startup(StartupObject s in initialstate) {
+    Job j = new Job(1){ready := true};
+    taskexit(s: initialstate := false);
+}
+task work(Job j in ready) {
+    taskexit(j: ready := false, done := true);
+}
+task collect(Job j in done) {
+    taskexit(j: done := false);
+}
+"""
+
+
+class TestCleanProgram:
+    def test_no_warnings(self):
+        diagnostics = diagnostics_of(BASE)
+        assert warnings_only(diagnostics) == []
+
+    def test_keyword_example_only_terminal_info(self, keyword_compiled):
+        diagnostics = analyze_diagnostics(
+            keyword_compiled.info,
+            keyword_compiled.ir_program,
+            keyword_compiled.astgs,
+        )
+        assert warnings_only(diagnostics) == []
+        infos = [d for d in diagnostics if d.severity == "info"]
+        assert any("Results" in d.subject for d in infos)
+
+    def test_benchmarks_warning_free(self):
+        from repro.bench import benchmark_names, load_benchmark
+
+        for name in benchmark_names():
+            compiled = load_benchmark(name)
+            diagnostics = analyze_diagnostics(
+                compiled.info, compiled.ir_program, compiled.astgs
+            )
+            assert warnings_only(diagnostics) == [], name
+
+
+class TestDeadTasks:
+    def test_unsatisfiable_guard_reported(self):
+        source = BASE + """
+        task ghost(Job j in ready and done) { taskexit(j: ready := false); }
+        """
+        diagnostics = diagnostics_of(source)
+        assert ("dead-task", "ghost") in kinds(warnings_only(diagnostics))
+
+    def test_guard_on_never_set_flag_reported(self):
+        source = """
+        class Job { flag ready; flag phantom; Job() { } }
+        task startup(StartupObject s in initialstate) {
+            Job j = new Job(){ready := true};
+            taskexit(s: initialstate := false);
+        }
+        task work(Job j in ready) { taskexit(j: ready := false); }
+        task never(Job j in phantom) { taskexit(j: phantom := false); }
+        """
+        found = kinds(warnings_only(diagnostics_of(source)))
+        assert ("dead-task", "never") in found
+        assert ("never-set-flag", "Job.phantom") in found
+
+    def test_live_tasks_not_reported(self):
+        diagnostics = warnings_only(diagnostics_of(BASE))
+        assert not any(d.kind == "dead-task" for d in diagnostics)
+
+
+class TestParkedStates:
+    def test_terminal_flagged_state_is_info(self):
+        source = """
+        class Job { flag ready; flag archived; Job() { } }
+        task startup(StartupObject s in initialstate) {
+            Job j = new Job(){ready := true};
+            taskexit(s: initialstate := false);
+        }
+        task work(Job j in ready) {
+            taskexit(j: ready := false, archived := true);
+        }
+        """
+        diagnostics = diagnostics_of(source)
+        parked = [d for d in diagnostics if d.kind == "parked-state"]
+        assert any("archived" in d.subject for d in parked)
+        assert all(d.severity == "info" for d in parked)
+
+    def test_empty_state_not_reported(self):
+        diagnostics = diagnostics_of(BASE)
+        assert not any(
+            d.kind == "parked-state" and ":{}" in d.subject for d in diagnostics
+        )
+
+
+class TestFormatting:
+    def test_str_includes_severity(self):
+        source = BASE + """
+        task ghost(Job j in ready and done) { taskexit(j: ready := false); }
+        """
+        diagnostic = warnings_only(diagnostics_of(source))[0]
+        assert str(diagnostic).startswith("warning:")

@@ -1,0 +1,253 @@
+"""Disjointness analysis tests (paper §4.2)."""
+
+from repro.analysis.disjoint import analyze_disjointness
+from repro.analysis.locks import build_lock_plan
+from repro.analysis.reachgraph import (
+    MethodSummary,
+    compute_method_summaries,
+    origin_params,
+    param_node,
+    content_node,
+)
+from repro.core import compile_program
+
+
+def sharing_of(source: str):
+    compiled = compile_program(source)
+    return compiled, compiled.disjointness
+
+
+HEADER = """
+class Box { flag full; Box inner; int v; Box() { } }
+class Pair { flag full; Box left; Box right; Pair() { } }
+"""
+
+STARTUP = """
+task startup(StartupObject s in initialstate) {
+    Box a = new Box(){full := true};
+    Box b = new Box(){full := true};
+    Pair p = new Pair(){full := true};
+    taskexit(s: initialstate := false);
+}
+"""
+
+
+class TestDirectSharing:
+    def test_disjoint_reads_no_sharing(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Box a in full, Box b in full) {
+            a.v = b.v + 1;
+            taskexit(a: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == set()
+
+    def test_direct_store_creates_sharing(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            p.left = b;
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+    def test_sharing_through_local_variable(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            Box tmp = b;
+            p.right = tmp;
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+    def test_sharing_through_loaded_subobject(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Box a in full, Box b in full) {
+            Box sub = b.inner;
+            a.inner = sub;
+            taskexit(a: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+    def test_fresh_object_linking_both_params(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Box a in full, Box b in full) {
+            Box mid = new Box();
+            a.inner = mid;
+            b.inner = mid;
+            taskexit(a: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+    def test_separate_fresh_objects_stay_disjoint(self):
+        _, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Box a in full, Box b in full) {
+            a.inner = new Box();
+            b.inner = new Box();
+            taskexit(a: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == set()
+
+
+class TestCallSharing:
+    def test_sharing_introduced_by_callee(self):
+        _, result = sharing_of(
+            HEADER.replace(
+                "Pair() { }",
+                "Pair() { } void adopt(Box x) { this.left = x; }",
+            ) + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            p.adopt(b);
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+    def test_value_copies_through_callee_stay_disjoint(self):
+        _, result = sharing_of(
+            HEADER.replace(
+                "Pair() { }",
+                "Pair() { } void copyCount(Box x) { this.left.v = x.v; }",
+            ) + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            p.copyCount(b);
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == set()
+
+    def test_element_wise_float_copy_disjoint(self):
+        _, result = sharing_of("""
+        class Vec { flag full; float[] data; Vec(int n) { this.data = new float[n]; } }
+        task startup(StartupObject s in initialstate) {
+            Vec a = new Vec(4){full := true};
+            Vec b = new Vec(4){full := true};
+            taskexit(s: initialstate := false);
+        }
+        task copy(Vec a in full, Vec b in full) {
+            for (int i = 0; i < 4; i++) a.data[i] = b.data[i];
+            taskexit(a: full := false; b: full := false);
+        }
+        """)
+        assert result.sharing["copy"] == set()
+
+    def test_array_reference_store_shares(self):
+        _, result = sharing_of("""
+        class Vec { flag full; float[] data; Vec(int n) { this.data = new float[n]; } }
+        task startup(StartupObject s in initialstate) {
+            Vec a = new Vec(4){full := true};
+            Vec b = new Vec(4){full := true};
+            taskexit(s: initialstate := false);
+        }
+        task alias(Vec a in full, Vec b in full) {
+            a.data = b.data;
+            taskexit(a: full := false; b: full := false);
+        }
+        """)
+        assert result.sharing["alias"] == {frozenset({0, 1})}
+
+    def test_returned_region_shares(self):
+        _, result = sharing_of(
+            HEADER.replace(
+                "Box() { }", "Box() { } Box getInner() { return this.inner; }"
+            ) + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            p.left = b.getInner();
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        assert result.sharing["t"] == {frozenset({0, 1})}
+
+
+class TestSummaries:
+    def test_recursive_method_converges(self):
+        compiled = compile_program(
+            HEADER.replace(
+                "Box() { }",
+                "Box() { } void chainTo(Box other) { "
+                "if (this.inner == null) { this.inner = other; } "
+                "else { this.inner.chainTo(other); } }",
+            ) + STARTUP
+        )
+        summaries = compute_method_summaries(compiled.ir_program)
+        assert (0, 1) in summaries["Box.chainTo"].connects
+
+    def test_pure_method_summary_empty(self, keyword_compiled):
+        summaries = keyword_compiled.disjointness.summaries
+        work = summaries["Text.work"]
+        assert work.connects == set()
+
+    def test_fresh_return_flagged(self):
+        compiled = compile_program(
+            HEADER.replace(
+                "Box() { }", "Box() { } Box spawn() { return new Box(); }"
+            ) + STARTUP
+        )
+        summaries = compute_method_summaries(compiled.ir_program)
+        assert summaries["Box.spawn"].ret_fresh
+
+    def test_origin_params(self):
+        assert origin_params(param_node(2)) == frozenset({2})
+        assert origin_params(content_node(param_node(1))) == frozenset({1})
+
+
+class TestBenchmarkDisjointness:
+    def test_keyword_tasks_all_disjoint(self, keyword_compiled):
+        for task in keyword_compiled.info.tasks:
+            assert keyword_compiled.disjointness.task_is_disjoint(task)
+
+    def test_sharing_groups_connected_components(self):
+        _, result = sharing_of("""
+        class N { flag f; N next; N() { } }
+        task startup(StartupObject s in initialstate) {
+            N a = new N(){f := true};
+            taskexit(s: initialstate := false);
+        }
+        task link(N a in f, N b in f, N c in f) {
+            a.next = b;
+            b.next = c;
+            taskexit(a: f := false; b: f := false; c: f := false);
+        }
+        """)
+        groups = result.sharing_groups("link")
+        assert groups == [{0, 1, 2}]
+
+
+class TestLockPlan:
+    def test_plan_partitions_tasks(self, keyword_compiled):
+        plan = keyword_compiled.lock_plan
+        assert set(plan.fine_grained_tasks()) == set(keyword_compiled.info.tasks)
+        assert plan.shared_lock_tasks() == []
+
+    def test_shared_groups_in_plan(self):
+        compiled, result = sharing_of(
+            HEADER + STARTUP + """
+        task t(Pair p in full, Box b in full) {
+            p.left = b;
+            taskexit(p: full := false; b: full := false);
+        }
+        """
+        )
+        plan = build_lock_plan(compiled.info, result)
+        task_plan = plan.plan_for("t")
+        assert not task_plan.is_fine_grained
+        assert task_plan.shared_groups == [{0, 1}]

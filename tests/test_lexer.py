@@ -1,0 +1,185 @@
+"""Unit tests for the Bamboo lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("hello") == [TokenKind.IDENT]
+        assert values("hello") == ["hello"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("_x9 a_b") == ["_x9", "a_b"]
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("class task flag") == [
+            TokenKind.KW_CLASS,
+            TokenKind.KW_TASK,
+            TokenKind.KW_FLAG,
+        ]
+
+    def test_double_is_alias_for_float_keyword(self):
+        assert kinds("double") == [TokenKind.KW_FLOAT]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) [ ] ; , . :") == [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.SEMI,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+            TokenKind.COLON,
+        ]
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT_LIT
+        assert tokens[0].value == 42
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_float_literal(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[0].value == 3.25
+
+    def test_float_with_exponent(self):
+        assert values("1.5e3") == [1500.0]
+        assert values("2e-2") == [0.02]
+        assert values("1.0E+2") == [100.0]
+
+    def test_float_suffix(self):
+        tokens = tokenize("2.5f")
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[0].value == 2.5
+
+    def test_int_with_float_suffix_is_float(self):
+        tokens = tokenize("3f")
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[0].value == 3.0
+
+    def test_dot_not_followed_by_digit_is_member_access(self):
+        assert kinds("a.length") == [
+            TokenKind.IDENT,
+            TokenKind.DOT,
+            TokenKind.IDENT,
+        ]
+
+    def test_integer_then_dot_method(self):
+        # "5 .x" style: digit followed by '.' + non-digit stays an int.
+        assert kinds("5.x")[:1] == [TokenKind.INT_LIT]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb\t\"q\"\\"') == ['a\nb\t"q"\\']
+
+    def test_empty_string(self):
+        assert values('""') == [""]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert kinds("== = := : <= < >= > != !") == [
+            TokenKind.EQ,
+            TokenKind.ASSIGN,
+            TokenKind.FLAG_ASSIGN,
+            TokenKind.COLON,
+            TokenKind.LE,
+            TokenKind.LT,
+            TokenKind.GE,
+            TokenKind.GT,
+            TokenKind.NE,
+            TokenKind.NOT,
+        ]
+
+    def test_compound_assignment_operators(self):
+        assert kinds("+= -= *= /= ++ --") == [
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.MINUS_ASSIGN,
+            TokenKind.STAR_ASSIGN,
+            TokenKind.SLASH_ASSIGN,
+            TokenKind.PLUSPLUS,
+            TokenKind.MINUSMINUS,
+        ]
+
+    def test_logical_operators(self):
+        assert kinds("&& ||") == [TokenKind.AMPAMP, TokenKind.PIPEPIPE]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // no newline") == [TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_division_is_not_comment(self):
+        assert kinds("a / b") == [TokenKind.IDENT, TokenKind.SLASH, TokenKind.IDENT]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_after_block_comment(self):
+        tokens = tokenize("/* x\ny */ z")
+        assert tokens[0].location.line == 2
+
+    def test_filename_recorded(self):
+        tokens = tokenize("x", filename="prog.bam")
+        assert tokens[0].location.filename == "prog.bam"

@@ -1,0 +1,189 @@
+"""End-to-end machine simulator tests."""
+
+import pytest
+
+from repro.core import run_layout, run_sequential, single_core_layout
+from repro.lang.errors import ScheduleError
+from repro.runtime.machine import MachineConfig, ManyCoreMachine
+from repro.schedule.layout import Layout
+
+
+def quad_layout(compiled):
+    mapping = {t: [0] for t in compiled.info.tasks}
+    mapping["processText"] = [0, 1, 2, 3]
+    return Layout.make(4, mapping)
+
+
+class TestCorrectness:
+    def test_single_core_output_matches_sequential(self, keyword_compiled):
+        seq = run_sequential(keyword_compiled, ["5"])
+        one = run_layout(keyword_compiled, single_core_layout(keyword_compiled), ["5"])
+        assert seq.stdout == one.stdout == "total=10"
+
+    def test_multi_core_output_matches(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["5"])
+        assert result.stdout == "total=10"
+
+    def test_invocation_counts(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["6"])
+        assert result.invocations == {
+            "startup": 1,
+            "processText": 6,
+            "mergeIntermediateResult": 6,
+        }
+
+    def test_exit_counts(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["6"])
+        assert result.exit_counts[("mergeIntermediateResult", 1)] == 1
+        assert result.exit_counts[("mergeIntermediateResult", 2)] == 5
+
+    def test_deterministic(self, keyword_compiled):
+        first = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["6"])
+        second = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["6"])
+        assert first.total_cycles == second.total_cycles
+        assert first.messages == second.messages
+
+    def test_tagged_pipeline_pairs_correctly(self, tagged_compiled):
+        # finishsave must receive the Image created for the *same* Drawing.
+        mapping = {t: [0] for t in tagged_compiled.info.tasks}
+        mapping["compress"] = [1, 2]
+        mapping["startsave"] = [1, 2, 3]
+        layout = Layout.make(4, mapping)
+        result = run_layout(tagged_compiled, layout, ["5"])
+        assert result.invocations["finishsave"] == 5
+
+    def test_replicated_tagged_task_completes_all_pairs(self, tagged_compiled):
+        # finishsave is replicated; tag hashing must send each Drawing and
+        # its Image to the same instance — including the Drawing, whose
+        # saveop tag is bound only at startsave's taskexit (regression: the
+        # router must hash the *future* tags the pending exit will commit).
+        mapping = {t: [0] for t in tagged_compiled.info.tasks}
+        mapping["startsave"] = [0, 1, 2]
+        mapping["compress"] = [1, 2, 3]
+        mapping["finishsave"] = [0, 2, 3]
+        layout = Layout.make(4, mapping)
+        result = run_layout(tagged_compiled, layout, ["9"])
+        assert result.invocations["finishsave"] == 9
+
+
+class TestPerformanceShape:
+    def test_parallel_run_faster(self, keyword_compiled):
+        one = run_layout(keyword_compiled, single_core_layout(keyword_compiled), ["8"])
+        four = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["8"])
+        assert four.total_cycles < one.total_cycles
+
+    def test_messages_only_on_multi_core(self, keyword_compiled):
+        one = run_layout(keyword_compiled, single_core_layout(keyword_compiled), ["4"])
+        four = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["4"])
+        assert one.messages == 0
+        assert four.messages > 0
+
+    def test_single_core_busy_nearly_total(self, keyword_compiled):
+        from repro.ir import costs
+
+        one = run_layout(keyword_compiled, single_core_layout(keyword_compiled), ["4"])
+        # On one core the only non-busy time is runtime initialization.
+        assert one.core_busy[0] == pytest.approx(
+            one.total_cycles - costs.RUNTIME_INIT_COST, rel=0.05
+        )
+
+    def test_bamboo_overhead_over_sequential(self, keyword_compiled):
+        # The test fixture's sections are tiny, so per-invocation dispatch
+        # overhead is proportionally large; the real benchmark-sized check
+        # (paper §5.5 range) lives in test_benchmarks.py.
+        seq = run_sequential(keyword_compiled, ["8"])
+        one = run_layout(keyword_compiled, single_core_layout(keyword_compiled), ["8"])
+        overhead = (one.total_cycles - seq.cycles) / seq.cycles
+        assert overhead > 0
+
+    def test_centralized_scheduler_slower_at_scale(self, keyword_compiled):
+        layout = quad_layout(keyword_compiled)
+        distributed = run_layout(keyword_compiled, layout, ["12"])
+        centralized = run_layout(
+            keyword_compiled,
+            layout,
+            ["12"],
+            config=MachineConfig(centralized_scheduler=True),
+        )
+        assert centralized.total_cycles > distributed.total_cycles
+
+
+class TestAccounting:
+    def test_retired_objects(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["4"])
+        # The StartupObject and all Texts eventually leave the object space;
+        # the Results object retires in state {finished}.
+        assert result.retired_objects >= 5
+
+    def test_profile_collection(self, keyword_compiled):
+        result = run_layout(
+            keyword_compiled,
+            single_core_layout(keyword_compiled),
+            ["4"],
+            collect_profile=True,
+        )
+        profile = result.profile
+        assert profile is not None
+        assert profile.invocations("processText") == 4
+        assert profile.exit_probability("mergeIntermediateResult", 1) == pytest.approx(
+            0.25
+        )
+        assert profile.run_cycles == result.total_cycles
+
+    def test_busy_fraction_bounded(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["8"])
+        assert 0 < result.busy_fraction() <= 1
+
+
+class TestLimits:
+    def test_invocation_budget_enforced(self, keyword_compiled):
+        config = MachineConfig(max_invocations=2)
+        with pytest.raises(ScheduleError):
+            run_layout(
+                keyword_compiled,
+                single_core_layout(keyword_compiled),
+                ["8"],
+                config=config,
+            )
+
+    def test_invalid_layout_rejected_at_construction(self, keyword_compiled):
+        layout = Layout.make(1, {"startup": [0]})
+        with pytest.raises(ScheduleError):
+            ManyCoreMachine(keyword_compiled, layout)
+
+
+class TestTopology:
+    def _chain_layouts(self, keyword_compiled):
+        # One worker on the far corner: every Text makes the round trip
+        # core 0 -> core 15 -> core 0, so hop latency sits on the critical
+        # path (a single section leaves nothing to hide it behind).
+        mapping = {t: [0] for t in keyword_compiled.info.tasks}
+        mapping["processText"] = [15]
+        near = Layout.make(16, mapping, mesh_width=4)   # 4x4: 6 hops
+        far = Layout.make(16, mapping, mesh_width=16)   # 1x16: 15 hops
+        return near, far
+
+    def test_wider_mesh_costs_more_cycles(self, keyword_compiled):
+        near, far = self._chain_layouts(keyword_compiled)
+        near_result = run_layout(keyword_compiled, near, ["1"])
+        far_result = run_layout(keyword_compiled, far, ["1"])
+        assert near_result.stdout == far_result.stdout
+        assert far_result.total_cycles > near_result.total_cycles
+
+    def test_hop_latency_can_hide_behind_work(self, keyword_compiled):
+        # With many sections the merge core stays busy while transfers are
+        # in flight: identical totals despite different distances.
+        mapping = {t: [0] for t in keyword_compiled.info.tasks}
+        mapping["processText"] = [0, 13, 14, 15]
+        near = Layout.make(16, mapping, mesh_width=4)
+        far = Layout.make(16, mapping, mesh_width=16)
+        near_result = run_layout(keyword_compiled, near, ["8"])
+        far_result = run_layout(keyword_compiled, far, ["8"])
+        assert near_result.total_cycles == far_result.total_cycles
+
+    def test_message_count_independent_of_mesh(self, keyword_compiled):
+        near, far = self._chain_layouts(keyword_compiled)
+        assert (
+            run_layout(keyword_compiled, near, ["3"]).messages
+            == run_layout(keyword_compiled, far, ["3"]).messages
+        )

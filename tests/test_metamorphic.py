@@ -1,0 +1,108 @@
+"""Metamorphic properties of the machine: functional behaviour must be
+independent of the layout, the core count, and scheduler/bounds-check modes.
+
+These are the strongest correctness checks in the suite: Bamboo's whole
+point is that the synthesis pipeline may place and replicate tasks freely
+without changing what the program computes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_layout, single_core_layout
+from repro.runtime.machine import MachineConfig
+from repro.schedule.layout import Layout
+
+NUM_CORES = 5
+
+
+def random_keyword_layout(draw, compiled):
+    """Draws a random valid layout for the keyword program."""
+    mapping = {}
+    for task in compiled.info.tasks:
+        task_info = compiled.info.task_info(task)
+        multi_param = len(task_info.decl.params) > 1
+        if multi_param:
+            cores = [draw(st.integers(0, NUM_CORES - 1))]
+        else:
+            count = draw(st.integers(1, NUM_CORES))
+            cores = draw(
+                st.lists(
+                    st.integers(0, NUM_CORES - 1),
+                    min_size=1,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        mapping[task] = cores
+    return Layout.make(NUM_CORES, mapping)
+
+
+class TestLayoutIndependence:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_output_independent_of_layout(self, data, keyword_compiled):
+        layout = random_keyword_layout(data.draw, keyword_compiled)
+        result = run_layout(keyword_compiled, layout, ["7"])
+        assert result.stdout == "total=14"
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_invocation_counts_independent_of_layout(
+        self, data, keyword_compiled
+    ):
+        layout = random_keyword_layout(data.draw, keyword_compiled)
+        result = run_layout(keyword_compiled, layout, ["5"])
+        assert result.invocations == {
+            "startup": 1,
+            "processText": 5,
+            "mergeIntermediateResult": 5,
+        }
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_exit_counts_independent_of_layout(self, data, keyword_compiled):
+        layout = random_keyword_layout(data.draw, keyword_compiled)
+        result = run_layout(keyword_compiled, layout, ["6"])
+        assert result.exit_counts[("mergeIntermediateResult", 1)] == 1
+        assert result.exit_counts[("mergeIntermediateResult", 2)] == 5
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_centralized_mode_preserves_semantics(self, data, keyword_compiled):
+        layout = random_keyword_layout(data.draw, keyword_compiled)
+        result = run_layout(
+            keyword_compiled,
+            layout,
+            ["6"],
+            config=MachineConfig(centralized_scheduler=True),
+        )
+        assert result.stdout == "total=12"
+
+    @given(sections=st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_output_scales_with_workload(self, keyword_compiled, sections):
+        layout = single_core_layout(keyword_compiled)
+        result = run_layout(keyword_compiled, layout, [str(sections)])
+        assert result.stdout == f"total={2 * sections}"
+
+
+class TestTaggedLayoutIndependence:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_tag_pairing_under_random_layouts(self, data, tagged_compiled):
+        mapping = {}
+        for task in tagged_compiled.info.tasks:
+            count = data.draw(st.integers(1, 3))
+            mapping[task] = data.draw(
+                st.lists(
+                    st.integers(0, NUM_CORES - 1),
+                    min_size=1,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+        layout = Layout.make(NUM_CORES, mapping)
+        # finishsave is tag-guarded on every parameter, so replication is
+        # always legal — and every Drawing must still complete its save.
+        result = run_layout(tagged_compiled, layout, ["6"])
+        assert result.invocations["finishsave"] == 6

@@ -1,0 +1,298 @@
+"""Unit tests for the Bamboo parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+
+
+def parse_task_body(body: str):
+    program = parse_program(
+        "task t(StartupObject s in initialstate) { %s }" % body
+    )
+    return program.tasks[0].body.statements
+
+
+def parse_expr(text: str):
+    statements = parse_task_body(f"int x = {text};")
+    return statements[0].init
+
+
+class TestClassDeclarations:
+    def test_empty_class(self):
+        program = parse_program("class A { }")
+        assert program.classes[0].name == "A"
+        assert program.classes[0].flags == []
+
+    def test_flags(self):
+        program = parse_program("class A { flag ready; flag done; }")
+        assert program.classes[0].flags == ["ready", "done"]
+
+    def test_fields(self):
+        program = parse_program("class A { int x; String s; float[] data; }")
+        fields = program.classes[0].fields
+        assert [f.name for f in fields] == ["x", "s", "data"]
+        assert fields[2].field_type == ast.TypeNode("float", 1)
+
+    def test_method(self):
+        program = parse_program("class A { int get(int i) { return i; } }")
+        method = program.classes[0].methods[0]
+        assert method.name == "get"
+        assert not method.is_constructor
+        assert method.return_type == ast.TypeNode("int")
+
+    def test_constructor(self):
+        program = parse_program("class A { A(int x) { } }")
+        assert program.classes[0].methods[0].is_constructor
+
+    def test_method_named_like_other_class_is_method(self):
+        program = parse_program("class A { B make() { return null; } }")
+        assert program.classes[0].methods[0].name == "make"
+
+    def test_static_method(self):
+        program = parse_program("class A { static int two() { return 2; } }")
+        assert program.classes[0].methods[0].is_static
+
+    def test_static_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { static int x; }")
+
+    def test_2d_array_field(self):
+        program = parse_program("class A { int[][] grid; }")
+        assert program.classes[0].fields[0].field_type.dims == 2
+
+
+class TestTaskDeclarations:
+    def test_single_guard(self):
+        program = parse_program("task t(Foo f in ready) { }")
+        param = program.tasks[0].params[0]
+        assert param.name == "f"
+        assert isinstance(param.guard, ast.FlagRef)
+
+    def test_guard_expression_grammar(self):
+        program = parse_program(
+            "task t(Foo f in (ready and !done) or stale) { }"
+        )
+        guard = program.tasks[0].params[0].guard
+        assert isinstance(guard, ast.FlagOr)
+        assert isinstance(guard.left, ast.FlagAnd)
+        assert isinstance(guard.left.right, ast.FlagNot)
+
+    def test_guard_constants(self):
+        program = parse_program("task t(Foo f in true) { }")
+        assert isinstance(program.tasks[0].params[0].guard, ast.FlagConst)
+
+    def test_tag_guards(self):
+        program = parse_program(
+            "task t(Foo f in ready with grp g, Bar b in done with grp g) { }"
+        )
+        assert program.tasks[0].params[0].tag_guards == [
+            ast.TagGuard(tag_type="grp", binding="g")
+        ]
+
+    def test_multiple_tag_guards(self):
+        program = parse_program(
+            "task t(Foo f in ready with grp g and pair p) { }"
+        )
+        assert len(program.tasks[0].params[0].tag_guards) == 2
+
+    def test_multiple_params(self):
+        program = parse_program("task t(Foo f in a, Bar b in !b) { }")
+        assert [p.name for p in program.tasks[0].params] == ["f", "b"]
+
+
+class TestTaskExit:
+    def test_flag_actions(self):
+        statements = parse_task_body("taskexit(s: initialstate := false);")
+        stmt = statements[0]
+        assert isinstance(stmt, ast.TaskExitStmt)
+        param, actions = stmt.actions[0]
+        assert param == "s"
+        assert actions == [ast.FlagAction(flag="initialstate", value=False)]
+
+    def test_multiple_params_separated_by_semicolons(self):
+        statements = parse_task_body(
+            "taskexit(s: initialstate := false; s2: a := true, b := false);"
+        )
+        stmt = statements[0]
+        assert len(stmt.actions) == 2
+        assert len(stmt.actions[1][1]) == 2
+
+    def test_tag_actions(self):
+        statements = parse_task_body(
+            "tag t = new tag(grp); taskexit(s: add t, clear t);"
+        )
+        _, actions = statements[1].actions[0]
+        assert actions == [
+            ast.TagAction(op="add", tag_var="t"),
+            ast.TagAction(op="clear", tag_var="t"),
+        ]
+
+    def test_empty_taskexit(self):
+        statements = parse_task_body("taskexit();")
+        assert statements[0].actions == []
+
+    def test_flag_value_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_task_body("taskexit(s: f := 1);")
+
+
+class TestStatements:
+    def test_declaration_with_array_type(self):
+        statements = parse_task_body("int[] xs = new int[5];")
+        assert isinstance(statements[0], ast.VarDeclStmt)
+        assert statements[0].var_type.dims == 1
+
+    def test_index_assignment_is_not_declaration(self):
+        statements = parse_task_body("int[] a = new int[2]; a[0] = 1;")
+        assert isinstance(statements[1], ast.AssignStmt)
+        assert isinstance(statements[1].target, ast.ArrayIndex)
+
+    def test_compound_assignment_desugars(self):
+        statements = parse_task_body("int x = 0; x += 2;")
+        assign = statements[1]
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "+"
+
+    def test_increment_desugars(self):
+        statements = parse_task_body("int x = 0; x++;")
+        assert isinstance(statements[1], ast.AssignStmt)
+        assert statements[1].value.op == "+"
+
+    def test_if_else(self):
+        statements = parse_task_body("if (true) { } else { }")
+        stmt = statements[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        statements = parse_task_body("if (true) if (false) { } else { }")
+        outer = statements[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_while(self):
+        statements = parse_task_body("while (1 < 2) { break; }")
+        assert isinstance(statements[0], ast.WhileStmt)
+
+    def test_for_full(self):
+        statements = parse_task_body("for (int i = 0; i < 3; i++) { continue; }")
+        stmt = statements[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.init is not None and stmt.cond is not None
+
+    def test_for_empty_clauses(self):
+        statements = parse_task_body("for (;;) { break; }")
+        stmt = statements[0]
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_tag_declaration(self):
+        statements = parse_task_body("tag t = new tag(saveop);")
+        stmt = statements[0]
+        assert isinstance(stmt, ast.TagDeclStmt)
+        assert stmt.tag_type == "saveop"
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        statements = parse_task_body("boolean b = 1 < 2 && 3 < 4;")
+        expr = statements[0].init
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, ast.Unary)
+
+    def test_parenthesized(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_cast(self):
+        expr = parse_expr("(float) 3")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target.name == "float"
+
+    def test_parenthesized_name_is_not_cast(self):
+        expr = parse_expr("(x)")
+        assert isinstance(expr, ast.VarRef)
+
+    def test_new_object_with_flag_inits(self):
+        expr = parse_expr('new Text("a"){process := true}')
+        assert isinstance(expr, ast.NewObject)
+        assert expr.flag_inits == [ast.FlagAction(flag="process", value=True)]
+
+    def test_new_object_with_tag_init(self):
+        statements = parse_task_body(
+            "tag t = new tag(g); Foo f = new Foo(){ready := true, add t};"
+        )
+        expr = statements[1].init
+        assert expr.tag_inits == [ast.TagAction(op="add", tag_var="t")]
+
+    def test_new_array_multi_dim(self):
+        expr = parse_expr("new int[3][4]")
+        assert isinstance(expr, ast.NewArray)
+        assert len(expr.dims) == 2
+
+    def test_new_array_extra_dims(self):
+        expr = parse_expr("new int[3][]")
+        assert expr.extra_dims == 1
+
+    def test_new_array_dim_after_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("new int[][3]")
+
+    def test_method_call_chain(self):
+        expr = parse_expr('"abc".substring(0, 2).length()')
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.name == "length"
+        assert expr.receiver.name == "substring"
+
+    def test_field_then_index(self):
+        expr = parse_expr("s.args[0]")
+        assert isinstance(expr, ast.ArrayIndex)
+        assert isinstance(expr.array, ast.FieldAccess)
+
+    def test_this_receiver(self):
+        program = parse_program(
+            "class A { int x; int get() { return this.x; } }"
+        )
+        ret = program.classes[0].methods[0].body.statements[0]
+        assert isinstance(ret.value, ast.FieldAccess)
+        assert isinstance(ret.value.receiver, ast.ThisRef)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { int x }")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("int x;")
+
+    def test_task_param_missing_in(self):
+        with pytest.raises(ParseError):
+            parse_program("task t(Foo f) { }")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(ParseError):
+            parse_program("class A {")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_program("class A {\n  int x\n}")
+        assert exc_info.value.location.line >= 2

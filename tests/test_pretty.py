@@ -1,0 +1,82 @@
+"""Pretty-printer round-trip tests: parse → print → parse is a fixpoint."""
+
+import pytest
+
+from repro.bench import benchmark_names, load_source
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_program, format_task_signature
+
+from conftest import KEYWORD_SOURCE, TAGGED_SOURCE
+
+SNIPPETS = [
+    "class A { }",
+    "class A { flag f; int x; A() { this.x = 0; } }",
+    "task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }",
+    """
+    class B {
+        float[] data;
+        B(int n) { this.data = new float[n]; }
+        float sum() {
+            float acc = 0.0;
+            for (int i = 0; i < this.data.length; i++) acc = acc + this.data[i];
+            return acc;
+        }
+    }
+    """,
+    """
+    task t(StartupObject s in initialstate) {
+        tag g = new tag(grp);
+        int[][] m = new int[2][3];
+        m[1][2] = -5 % 3;
+        String msg = "v=" + (1.5 * 2.0) + " b=" + (true == false);
+        if (msg.length() > 0 && !(1 >= 2)) { }
+        else { while (false) { break; } }
+        taskexit(s: initialstate := false, add g);
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("snippet", SNIPPETS)
+def test_round_trip_fixpoint(snippet):
+    once = format_program(parse_program(snippet))
+    twice = format_program(parse_program(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("source", [KEYWORD_SOURCE, TAGGED_SOURCE])
+def test_round_trip_fixtures(source):
+    once = format_program(parse_program(source))
+    twice = format_program(parse_program(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_round_trip_benchmarks(name):
+    source = load_source(name)
+    once = format_program(parse_program(source))
+    twice = format_program(parse_program(once))
+    assert once == twice
+
+
+def test_task_signature_includes_guards():
+    program = parse_program(
+        "task t(Foo f in ready and !done with grp g) { }"
+    )
+    text = format_task_signature(program.tasks[0])
+    assert "task t(" in text
+    assert "ready" in text and "done" in text and "grp g" in text
+
+
+def test_string_escapes_survive_round_trip():
+    source = r'''
+    task t(StartupObject s in initialstate) {
+        String x = "a\nb\t\"c\"\\d";
+        taskexit(s: initialstate := false);
+    }
+    '''
+    program = parse_program(source)
+    reparsed = parse_program(format_program(program))
+    original = program.tasks[0].body.statements[0].init.value
+    round_tripped = reparsed.tasks[0].body.statements[0].init.value
+    assert original == round_tripped

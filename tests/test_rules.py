@@ -1,0 +1,155 @@
+"""Transformation-rule tests (§4.3.3), including the rate-matching rule on
+a synthetic producer/consumer pipeline."""
+
+import pytest
+
+from repro.core import (
+    annotated_cstg,
+    compile_program,
+    profile_program,
+    run_layout,
+    single_core_layout,
+)
+from repro.schedule.coregroup import build_group_graph
+from repro.schedule.layout import Layout
+from repro.schedule.rules import (
+    group_cycle_time,
+    group_processing_time,
+    suggest_replicas,
+)
+
+# A generator task cycles on one Gen object, emitting one cheap-to-produce
+# but expensive-to-consume Item per trip around the cycle: the shape the
+# rate-matching rule exists for.
+PIPELINE_SOURCE = """
+class Gen {
+    flag running;
+    flag done;
+    int remaining;
+    Gen(int n) { this.remaining = n; }
+}
+
+class Item {
+    flag fresh;
+    flag cooked;
+    int v;
+    int result;
+    Item(int v) { this.v = v; this.result = 0; }
+    void crunch() {
+        int acc = 0;
+        for (int i = 0; i < 400; i++) acc = acc + (i * this.v) % 97;
+        this.result = acc;
+    }
+}
+
+class Sink {
+    flag open;
+    flag closed;
+    int seen;
+    int expected;
+    Sink(int expected) { this.expected = expected; this.seen = 0; }
+    boolean absorb(Item i) {
+        this.seen = this.seen + 1;
+        return this.seen == this.expected;
+    }
+}
+
+task startup(StartupObject s in initialstate) {
+    int n = Integer.parseInt(s.args[0]);
+    Gen g = new Gen(n){running := true};
+    Sink sink = new Sink(n){open := true};
+    taskexit(s: initialstate := false);
+}
+
+task generate(Gen g in running) {
+    g.remaining = g.remaining - 1;
+    Item item = new Item(g.remaining){fresh := true};
+    if (g.remaining == 0) {
+        taskexit(g: running := false, done := true);
+    }
+    taskexit();
+}
+
+task consume(Item item in fresh) {
+    item.crunch();
+    taskexit(item: fresh := false, cooked := true);
+}
+
+task drain(Sink sink in open, Item item in cooked) {
+    boolean full = sink.absorb(item);
+    if (full) {
+        System.printInt(sink.seen);
+        taskexit(sink: open := false, closed := true; item: cooked := false);
+    }
+    taskexit(item: cooked := false);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    compiled = compile_program(PIPELINE_SOURCE, "pipeline")
+    profile = profile_program(compiled, ["24"])
+    cstg = annotated_cstg(compiled, profile)
+    graph = build_group_graph(compiled.info, cstg, profile)
+    return compiled, profile, graph
+
+
+class TestRateMatching:
+    def test_generator_group_is_cyclic(self, pipeline):
+        _, _, graph = pipeline
+        gen_group = graph.group(graph.group_of_task["generate"])
+        assert gen_group.cyclic
+
+    def test_rate_match_rule_fires(self, pipeline):
+        compiled, profile, graph = pipeline
+        suggestions = suggest_replicas(compiled.info, graph, profile, 16)
+        consume_gid = graph.group_of_task["consume"]
+        suggestion = suggestions[consume_gid]
+        assert suggestion.rule == "rate-match"
+        # Consumption is much slower than generation: several replicas.
+        assert suggestion.replicas >= 3
+
+    def test_rate_match_capped_by_cores(self, pipeline):
+        compiled, profile, graph = pipeline
+        suggestions = suggest_replicas(compiled.info, graph, profile, 4)
+        consume_gid = graph.group_of_task["consume"]
+        assert suggestions[consume_gid].replicas <= 4
+
+    def test_rule_disabled_falls_back(self, pipeline):
+        compiled, profile, graph = pipeline
+        suggestions = suggest_replicas(
+            compiled.info, graph, profile, 16, enable_rate_match=False
+        )
+        consume_gid = graph.group_of_task["consume"]
+        # Without rate matching the only new-edge weight is ~1 per
+        # generator invocation, so data-parallelization suggests ~1.
+        assert suggestions[consume_gid].replicas <= 2
+
+    def test_timing_helpers(self, pipeline):
+        compiled, profile, graph = pipeline
+        gen_gid = graph.group_of_task["generate"]
+        consume_gid = graph.group_of_task["consume"]
+        assert group_cycle_time(graph, profile, gen_gid) > 0
+        assert group_processing_time(graph, profile, consume_gid) > (
+            group_cycle_time(graph, profile, gen_gid)
+        )
+
+
+class TestPipelineExecution:
+    def test_streaming_pipeline_correct(self, pipeline):
+        compiled, _, _ = pipeline
+        result = run_layout(compiled, single_core_layout(compiled), ["24"])
+        assert result.stdout == "24"
+        assert result.invocations["generate"] == 24
+        assert result.invocations["consume"] == 24
+
+    def test_replicated_consumers_speed_up_pipeline(self, pipeline):
+        compiled, _, _ = pipeline
+        single = run_layout(compiled, single_core_layout(compiled), ["24"])
+        mapping = {t: [0] for t in compiled.info.tasks}
+        mapping["consume"] = [1, 2, 3, 4, 5]
+        layout = Layout.make(6, mapping)
+        parallel = run_layout(compiled, layout, ["24"])
+        assert parallel.stdout == "24"
+        assert parallel.total_cycles < single.total_cycles / 2

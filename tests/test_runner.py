@@ -1,0 +1,155 @@
+"""Tests for the experiment runners (Figure 7/9/11 protocols) and the
+remaining runtime features: bounds-check cost mode and shared-lock
+execution on the machine."""
+
+import pytest
+
+from repro.bench.runner import (
+    estimate_vs_real,
+    generality_run,
+    run_three_versions,
+)
+from repro.core import (
+    compile_program,
+    run_layout,
+    run_sequential,
+    single_core_layout,
+)
+from repro.runtime.machine import MachineConfig
+from repro.schedule.layout import Layout
+
+
+class TestThreeVersionProtocol:
+    def test_keyword_protocol(self):
+        row = run_three_versions("Keyword", num_cores=4, args=["10"])
+        assert row.outputs_match
+        assert row.seq_cycles < row.one_core_cycles
+        assert row.many_core_cycles < row.one_core_cycles
+        assert row.speedup_vs_bamboo > 1
+        assert row.speedup_vs_seq == pytest.approx(
+            row.seq_cycles / row.many_core_cycles
+        )
+        assert row.report is not None
+
+
+class TestAccuracyProtocol:
+    def test_estimate_vs_real_row(self):
+        from repro.bench import load_benchmark
+
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        row = estimate_vs_real("Keyword", layout, "1-core", args=["8"])
+        assert row.layout_kind == "1-core"
+        assert abs(row.error) < 0.1
+
+
+class TestGeneralityProtocol:
+    def test_generality_row(self):
+        row = generality_run("Keyword", num_cores=4)
+        assert row.speedup_original > 0.8
+        assert row.speedup_double > 0.8
+        assert row.one_core_cycles > row.original_profile_cycles * 0.5
+
+
+class TestBoundsCheckMode:
+    SOURCE = """
+    class SeqMain {
+        SeqMain() { }
+        void run(String[] args) {
+            int[] data = new int[64];
+            int acc = 0;
+            for (int i = 0; i < 64; i++) data[i] = i;
+            for (int i = 0; i < 64; i++) acc = acc + data[i];
+            System.printInt(acc);
+        }
+    }
+    task startup(StartupObject s in initialstate) {
+        taskexit(s: initialstate := false);
+    }
+    """
+
+    def test_bounds_checks_cost_more(self):
+        compiled = compile_program(self.SOURCE)
+        off = run_sequential(compiled, ["0"], bounds_checks=False)
+        on = run_sequential(compiled, ["0"], bounds_checks=True)
+        assert on.stdout == off.stdout
+        # 128 array accesses, BOUNDS_CHECK_COST each.
+        from repro.ir.costs import BOUNDS_CHECK_COST
+
+        assert on.cycles == off.cycles + 128 * BOUNDS_CHECK_COST
+
+    def test_machine_config_knob(self, keyword_compiled):
+        layout = single_core_layout(keyword_compiled)
+        off = run_layout(keyword_compiled, layout, ["6"])
+        on = run_layout(
+            keyword_compiled, layout, ["6"],
+            config=MachineConfig(bounds_checks=True),
+        )
+        assert on.stdout == off.stdout
+        assert on.total_cycles > off.total_cycles
+
+
+SHARING_SOURCE = """
+class Node { flag fresh; flag linked; Node next; int v; Node(int v) { this.v = v; } }
+class Chain { flag open; flag closed; Node head; int length; int expected;
+    Chain(int expected) { this.expected = expected; this.length = 0; }
+    boolean attach(Node n) {
+        n.next = this.head;
+        this.head = n;
+        this.length = this.length + 1;
+        return this.length == this.expected;
+    }
+}
+class SeqMain { SeqMain() { } void run(String[] args) { System.printInt(0); } }
+task startup(StartupObject s in initialstate) {
+    int count = Integer.parseInt(s.args[0]);
+    for (int i = 0; i < count; i++) {
+        Node n = new Node(i){fresh := true};
+    }
+    Chain c = new Chain(count){open := true};
+    taskexit(s: initialstate := false);
+}
+task link(Chain c in open, Node n in fresh) {
+    boolean full = c.attach(n);
+    if (full) {
+        System.printInt(c.length);
+        taskexit(c: open := false, closed := true; n: fresh := false, linked := true);
+    }
+    taskexit(n: fresh := false, linked := true);
+}
+"""
+
+
+class TestSharedLockExecution:
+    """The link task stores Nodes into the Chain: the disjointness analysis
+    must flag it, and the machine must merge lock groups at commit."""
+
+    def test_analysis_flags_sharing(self):
+        compiled = compile_program(SHARING_SOURCE)
+        assert not compiled.lock_plan.plan_for("link").is_fine_grained
+
+    def test_machine_runs_with_lock_merging(self):
+        compiled = compile_program(SHARING_SOURCE)
+        mapping = {t: [0] for t in compiled.info.tasks}
+        layout = Layout.make(2, mapping)
+        result = run_layout(compiled, layout, ["7"])
+        assert result.invocations["link"] == 7
+        assert result.stdout == "7"
+
+    def test_lock_groups_actually_merged(self):
+        from repro.runtime.machine import ManyCoreMachine
+
+        compiled = compile_program(SHARING_SOURCE)
+        layout = Layout.make(2, {t: [0] for t in compiled.info.tasks})
+        machine = ManyCoreMachine(compiled, layout)
+        machine.run(["4"])
+        # All linked nodes share the chain's lock group now.
+        heap_objects = [
+            o for o in machine.heap.objects.values() if o.class_name == "Node"
+        ]
+        chain = next(
+            o for o in machine.heap.objects.values() if o.class_name == "Chain"
+        )
+        roots = {machine.locks._find(o.obj_id) for o in heap_objects}
+        roots.add(machine.locks._find(chain.obj_id))
+        assert len(roots) == 1

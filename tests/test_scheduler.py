@@ -1,0 +1,181 @@
+"""Per-core scheduler and lock manager tests (paper §4.7)."""
+
+from repro.runtime.objects import BObject, Heap, TagInstance
+from repro.runtime.scheduler import CoreScheduler, LockManager
+
+
+def make_obj(heap, class_name, flags=(), obj_tags=()):
+    obj = heap.new_object(class_name, 0)
+    for flag in flags:
+        obj.set_flag(flag, True)
+    for tag in obj_tags:
+        obj.bind_tag(tag)
+    return obj
+
+
+class TestLockManager:
+    def test_lock_unlock(self):
+        heap = Heap()
+        locks = LockManager()
+        a = make_obj(heap, "X")
+        assert locks.try_lock_all([a], core=0)
+        assert locks.is_locked(a)
+        assert not locks.try_lock_all([a], core=1)
+        locks.unlock_all([a], core=0)
+        assert locks.try_lock_all([a], core=1)
+
+    def test_all_or_nothing(self):
+        heap = Heap()
+        locks = LockManager()
+        a, b = make_obj(heap, "X"), make_obj(heap, "X")
+        assert locks.try_lock_all([b], core=1)
+        assert not locks.try_lock_all([a, b], core=0)
+        # a must not have been left locked by the failed attempt.
+        assert not locks.is_locked(a)
+
+    def test_reentrant_for_same_core(self):
+        heap = Heap()
+        locks = LockManager()
+        a = make_obj(heap, "X")
+        assert locks.try_lock_all([a], core=2)
+        assert locks.try_lock_all([a], core=2)
+
+    def test_merged_groups_share_lock(self):
+        heap = Heap()
+        locks = LockManager()
+        a, b = make_obj(heap, "X"), make_obj(heap, "X")
+        locks.merge([a.obj_id, b.obj_id])
+        assert locks.try_lock_all([a], core=0)
+        assert not locks.try_lock_all([b], core=1)
+        locks.unlock_all([a], core=0)
+        assert locks.try_lock_all([b], core=1)
+
+    def test_merge_preserves_held_lock(self):
+        heap = Heap()
+        locks = LockManager()
+        a, b = make_obj(heap, "X"), make_obj(heap, "X")
+        assert locks.try_lock_all([a], core=0)
+        locks.merge([a.obj_id, b.obj_id])
+        assert not locks.try_lock_all([b], core=1)
+
+    def test_merge_idempotent(self):
+        heap = Heap()
+        locks = LockManager()
+        a, b = make_obj(heap, "X"), make_obj(heap, "X")
+        locks.merge([a.obj_id, b.obj_id])
+        locks.merge([b.obj_id, a.obj_id])
+        assert locks.try_lock_all([a, b], core=0)
+
+
+class TestInvocationFormation:
+    def test_single_param_task(self, keyword_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["processText"])
+        text = make_obj(heap, "Text", flags=["process"])
+        formed = scheduler.enqueue_object("processText", 0, text, now=0)
+        assert len(formed) == 1
+        assert formed[0].objects == [text]
+        assert scheduler.has_work()
+
+    def test_duplicate_enqueue_ignored(self, keyword_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["mergeIntermediateResult"])
+        text = make_obj(heap, "Text", flags=["submit"])
+        scheduler.enqueue_object("mergeIntermediateResult", 1, text, now=0)
+        formed = scheduler.enqueue_object("mergeIntermediateResult", 1, text, now=0)
+        assert formed == []
+
+    def test_multi_param_waits_for_all(self, keyword_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["mergeIntermediateResult"])
+        text = make_obj(heap, "Text", flags=["submit"])
+        assert scheduler.enqueue_object("mergeIntermediateResult", 1, text, 0) == []
+        results = make_obj(heap, "Results")
+        formed = scheduler.enqueue_object("mergeIntermediateResult", 0, results, 0)
+        assert len(formed) == 1
+        assert formed[0].objects == [results, text]
+
+    def test_fifo_pairing(self, keyword_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["mergeIntermediateResult"])
+        first = make_obj(heap, "Text", flags=["submit"])
+        second = make_obj(heap, "Text", flags=["submit"])
+        scheduler.enqueue_object("mergeIntermediateResult", 1, first, 0)
+        scheduler.enqueue_object("mergeIntermediateResult", 1, second, 0)
+        results = make_obj(heap, "Results")
+        formed = scheduler.enqueue_object("mergeIntermediateResult", 0, results, 0)
+        assert formed[0].objects[1] is first
+
+    def test_tag_compatible_pairing(self, tagged_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, tagged_compiled.info, ["finishsave"])
+        tag1 = heap.new_tag("saveop")
+        tag2 = heap.new_tag("saveop")
+        drawing1 = make_obj(heap, "Drawing", flags=["saving"], obj_tags=[tag1])
+        drawing2 = make_obj(heap, "Drawing", flags=["saving"], obj_tags=[tag2])
+        image2 = make_obj(heap, "Image", flags=["compressed"], obj_tags=[tag2])
+        scheduler.enqueue_object("finishsave", 0, drawing1, 0)
+        scheduler.enqueue_object("finishsave", 0, drawing2, 0)
+        # image2 must pair with drawing2 (same tag), skipping drawing1.
+        formed = scheduler.enqueue_object("finishsave", 1, image2, 0)
+        assert len(formed) == 1
+        assert formed[0].objects == [drawing2, image2]
+
+    def test_tag_mismatch_blocks_invocation(self, tagged_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, tagged_compiled.info, ["finishsave"])
+        tag1 = heap.new_tag("saveop")
+        tag2 = heap.new_tag("saveop")
+        drawing = make_obj(heap, "Drawing", flags=["saving"], obj_tags=[tag1])
+        image = make_obj(heap, "Image", flags=["compressed"], obj_tags=[tag2])
+        scheduler.enqueue_object("finishsave", 0, drawing, 0)
+        formed = scheduler.enqueue_object("finishsave", 1, image, 0)
+        assert formed == []
+
+    def test_untagged_object_never_satisfies_tag_guard(self, tagged_compiled):
+        heap = Heap()
+        scheduler = CoreScheduler(0, tagged_compiled.info, ["finishsave"])
+        drawing = make_obj(heap, "Drawing", flags=["saving"])
+        image = make_obj(heap, "Image", flags=["compressed"])
+        scheduler.enqueue_object("finishsave", 0, drawing, 0)
+        assert scheduler.enqueue_object("finishsave", 1, image, 0) == []
+
+
+class TestDispatch:
+    def test_guard_recheck_drops_stale(self, keyword_compiled):
+        heap = Heap()
+        locks = LockManager()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["processText"])
+        text = make_obj(heap, "Text", flags=["process"])
+        scheduler.enqueue_object("processText", 0, text, 0)
+        text.set_flag("process", False)  # transitioned elsewhere
+        invocation, stale = scheduler.pick_invocation(locks)
+        assert invocation is None
+        assert stale == [text]
+
+    def test_lock_blocked_invocation_stays_queued(self, keyword_compiled):
+        heap = Heap()
+        locks = LockManager()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["processText"])
+        text = make_obj(heap, "Text", flags=["process"])
+        scheduler.enqueue_object("processText", 0, text, 0)
+        assert locks.try_lock_all([text], core=9)
+        invocation, stale = scheduler.pick_invocation(locks)
+        assert invocation is None and stale == []
+        assert scheduler.has_work()
+        locks.unlock_all([text], core=9)
+        invocation, _ = scheduler.pick_invocation(locks)
+        assert invocation is not None
+
+    def test_dispatch_skips_blocked_runs_next(self, keyword_compiled):
+        heap = Heap()
+        locks = LockManager()
+        scheduler = CoreScheduler(0, keyword_compiled.info, ["processText"])
+        blocked = make_obj(heap, "Text", flags=["process"])
+        free = make_obj(heap, "Text", flags=["process"])
+        scheduler.enqueue_object("processText", 0, blocked, 0)
+        scheduler.enqueue_object("processText", 0, free, 0)
+        locks.try_lock_all([blocked], core=5)
+        invocation, _ = scheduler.pick_invocation(locks)
+        assert invocation.objects == [free]
+        assert scheduler.has_work()  # blocked one still queued

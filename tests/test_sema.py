@@ -1,0 +1,354 @@
+"""Type checker and name resolution tests."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.sema import analyze, builtins, types as ty
+
+
+def check(source: str):
+    return analyze(parse_program(source))
+
+
+def check_task_body(body: str):
+    return check(
+        "task t(StartupObject s in initialstate) { %s "
+        "taskexit(s: initialstate := false); }" % body
+    )
+
+
+def check_method_body(body: str, fields: str = "int x;"):
+    return check("class A { %s void m() { %s } }" % (fields, body))
+
+
+def expect_error(source_builder, body, fragment):
+    with pytest.raises(SemanticError) as exc_info:
+        source_builder(body)
+    assert fragment in str(exc_info.value)
+
+
+class TestProgramStructure:
+    def test_startup_object_installed_implicitly(self, keyword_compiled):
+        info = keyword_compiled.info
+        assert builtins.STARTUP_CLASS in info.classes
+        assert info.class_info("StartupObject").flags == ["initialstate"]
+
+    def test_duplicate_class_rejected(self):
+        expect_error(check, "class A { } class A { }", "duplicate class")
+
+    def test_duplicate_flag_rejected(self):
+        expect_error(check, "class A { flag f; flag f; }", "duplicate flag")
+
+    def test_duplicate_field_rejected(self):
+        expect_error(check, "class A { int x; int x; }", "duplicate field")
+
+    def test_duplicate_method_rejected(self):
+        expect_error(
+            check,
+            "class A { void m() { } void m() { } }",
+            "duplicate method",
+        )
+
+    def test_multiple_constructors_rejected(self):
+        expect_error(
+            check, "class A { A() { } A(int x) { } }", "multiple constructors"
+        )
+
+    def test_duplicate_task_rejected(self):
+        expect_error(
+            check,
+            "class F { flag f; } task t(F x in f) { } task t(F x in f) { }",
+            "duplicate task",
+        )
+
+    def test_class_cannot_shadow_builtin_namespace(self):
+        expect_error(check, "class Math { }", "builtin namespace")
+
+    def test_task_param_must_be_class(self):
+        expect_error(check, "task t(int x in f) { }", "not a declared class")
+
+    def test_task_param_array_rejected(self):
+        expect_error(
+            check,
+            "class F { flag f; } task t(F[] x in f) { }",
+            "class-typed objects",
+        )
+
+
+class TestGuards:
+    def test_guard_flag_must_exist(self):
+        expect_error(
+            check, "class F { flag a; } task t(F x in b) { }", "no flag 'b'"
+        )
+
+    def test_nested_guard_flags_checked(self):
+        expect_error(
+            check,
+            "class F { flag a; } task t(F x in a and !b) { }",
+            "no flag 'b'",
+        )
+
+
+class TestTaskExit:
+    def test_unknown_param_rejected(self):
+        expect_error(
+            check_task_body, "taskexit(q: initialstate := false);", "unknown parameter"
+        )
+
+    def test_unknown_flag_rejected(self):
+        expect_error(
+            check_task_body, "taskexit(s: bogus := false);", "no flag 'bogus'"
+        )
+
+    def test_duplicate_param_group_rejected(self):
+        expect_error(
+            check_task_body,
+            "taskexit(s: initialstate := false; s: initialstate := true);",
+            "twice",
+        )
+
+    def test_taskexit_in_method_rejected(self):
+        expect_error(check_method_body, "taskexit();", "taskexit outside a task")
+
+    def test_tag_action_needs_tag_variable(self):
+        expect_error(
+            check_task_body, "taskexit(s: add t);", "not a tag variable"
+        )
+
+    def test_return_in_task_rejected(self):
+        expect_error(check_task_body, "return;", "taskexit, not return")
+
+
+class TestTypes:
+    def test_int_float_promotion(self):
+        check_task_body("float f = 1; f = f + 2;")
+
+    def test_float_to_int_requires_cast(self):
+        expect_error(check_task_body, "int i = 1.5;", "cannot initialize")
+
+    def test_explicit_cast_allowed(self):
+        check_task_body("int i = (int) 1.5; float f = (float) i;")
+
+    def test_string_concat_with_numbers(self):
+        check_task_body('String x = "a" + 1 + 2.5 + true;')
+
+    def test_string_minus_rejected(self):
+        expect_error(check_task_body, 'String x = "a" - "b";', "numeric")
+
+    def test_modulo_requires_ints(self):
+        expect_error(check_task_body, "float f = 1.5 % 2.0;", "int operands")
+
+    def test_condition_must_be_boolean(self):
+        expect_error(check_task_body, "if (1) { }", "must be boolean")
+
+    def test_logic_requires_booleans(self):
+        expect_error(check_task_body, "boolean b = 1 && true;", "boolean operands")
+
+    def test_comparison_of_mixed_numerics(self):
+        check_task_body("boolean b = 1 < 2.5;")
+
+    def test_null_assignable_to_reference(self):
+        check_task_body("String x = null; int[] a = null;")
+
+    def test_null_not_assignable_to_int(self):
+        expect_error(check_task_body, "int x = null;", "cannot initialize")
+
+    def test_void_parameter_rejected(self):
+        expect_error(check, "class A { void m(void x) { } }", "void")
+
+    def test_array_index_must_be_int(self):
+        expect_error(
+            check_task_body, "int[] a = new int[3]; int x = a[1.5];", "must be int"
+        )
+
+    def test_array_length(self):
+        check_task_body("int[] a = new int[3]; int n = a.length;")
+
+    def test_array_length_not_assignable(self):
+        expect_error(
+            check_task_body,
+            "int[] a = new int[3]; a.length = 4;",
+            "array length",
+        )
+
+    def test_indexing_non_array_rejected(self):
+        expect_error(check_task_body, "int x = 1; int y = x[0];", "non-array")
+
+
+class TestVariables:
+    def test_unknown_variable(self):
+        expect_error(check_task_body, "int x = y;", "unknown variable 'y'")
+
+    def test_duplicate_variable_same_scope(self):
+        expect_error(check_task_body, "int x = 1; int x = 2;", "duplicate variable")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        check_task_body("int x = 1; { int x = 2; }")
+
+    def test_block_scope_ends(self):
+        expect_error(check_task_body, "{ int x = 1; } int y = x;", "unknown variable")
+
+    def test_for_scope(self):
+        expect_error(
+            check_task_body,
+            "for (int i = 0; i < 3; i++) { } int y = i;",
+            "unknown variable",
+        )
+
+    def test_task_param_cannot_be_reassigned(self):
+        expect_error(check_task_body, "s = null;", "cannot reassign task parameter")
+
+    def test_break_outside_loop(self):
+        expect_error(check_task_body, "break;", "outside a loop")
+
+
+class TestCalls:
+    def test_builtin_math(self):
+        check_task_body("float r = Math.sqrt(2.0) + Math.pow(2.0, 3.0);")
+
+    def test_builtin_int_arg_promoted(self):
+        check_task_body("float r = Math.sqrt(4);")
+
+    def test_unknown_builtin(self):
+        expect_error(check_task_body, "float r = Math.cube(2.0);", "unknown builtin")
+
+    def test_wrong_arity(self):
+        expect_error(check_task_body, "float r = Math.sqrt(1.0, 2.0);", "arguments")
+
+    def test_string_methods(self):
+        check_task_body(
+            'String s = "hello"; int n = s.length(); '
+            'boolean e = s.equals("x"); String sub = s.substring(0, 2);'
+        )
+
+    def test_unknown_string_method(self):
+        expect_error(check_task_body, '"x".frob();', "no method 'frob'")
+
+    def test_method_on_class(self):
+        check(
+            "class A { int get() { return 1; } } "
+            "task t(StartupObject s in initialstate) "
+            "{ A a = new A(); int x = a.get(); "
+            "taskexit(s: initialstate := false); }"
+        )
+
+    def test_unqualified_call_in_method(self):
+        check("class A { int one() { return 1; } int two() { return one() + 1; } }")
+
+    def test_unqualified_call_in_task_rejected(self):
+        expect_error(check_task_body, "int x = frob();", "unqualified")
+
+    def test_constructor_arity_checked(self):
+        expect_error(
+            check,
+            "class A { A(int x) { } } "
+            "task t(StartupObject s in initialstate) { A a = new A(); }",
+            "expects 1 arguments",
+        )
+
+    def test_new_without_constructor_rejects_args(self):
+        expect_error(
+            check,
+            "class A { } task t(StartupObject s in initialstate) "
+            "{ A a = new A(1); }",
+            "no constructor",
+        )
+
+
+class TestMethodsAndReturns:
+    def test_missing_return_value(self):
+        expect_error(
+            check, "class A { int m() { return; } }", "missing return value"
+        )
+
+    def test_void_return_with_value(self):
+        expect_error(check_method_body, "return 1;", "void method")
+
+    def test_int_method_returns_float_rejected(self):
+        expect_error(
+            check, "class A { int m() { return 1.5; } }", "cannot return"
+        )
+
+    def test_this_outside_method(self):
+        expect_error(check_task_body, "int x = this.x;", "'this' outside a method")
+
+    def test_field_resolution(self):
+        check("class A { int x; int get() { return this.x; } }")
+
+    def test_unknown_field(self):
+        expect_error(
+            check, "class A { int get() { return this.y; } }", "no field 'y'"
+        )
+
+
+class TestFlagInitializers:
+    def test_flag_init_on_unknown_flag(self):
+        expect_error(
+            check,
+            "class F { flag a; } task t(StartupObject s in initialstate) "
+            "{ F f = new F(){b := true}; }",
+            "no flag 'b'",
+        )
+
+    def test_flag_init_in_method_rejected(self):
+        expect_error(
+            check,
+            "class F { flag a; } class A { void m() { F f = new F(){a := true}; } }",
+            "only allowed in tasks",
+        )
+
+    def test_tag_init_requires_tag_variable(self):
+        expect_error(
+            check,
+            "class F { flag a; } task t(StartupObject s in initialstate) "
+            "{ F f = new F(){a := true, add g}; }",
+            "not a tag variable",
+        )
+
+    def test_tag_declared_in_method_rejected(self):
+        expect_error(
+            check,
+            "class A { void m() { tag t = new tag(g); } }",
+            "inside tasks",
+        )
+
+
+class TestAnnotations:
+    def test_expression_types_annotated(self, keyword_compiled):
+        # After analysis every expression in the program carries a type.
+        from repro.lang import ast as A
+
+        program = keyword_compiled.program
+        task = program.find_task("processText")
+        for stmt in A.walk_stmts(task.body):
+            for root in A.stmt_exprs(stmt):
+                for expr in A.walk_expr(root):
+                    assert hasattr(expr, "ty")
+
+
+class TestTagGuards:
+    def test_consistent_binding_types_ok(self):
+        check(
+            "class A { flag f; } class B { flag g; } "
+            "task t(A a in f with grp x, B b in g with grp x) { }"
+        )
+
+    def test_conflicting_binding_types_rejected(self):
+        expect_error(
+            check,
+            "class A { flag f; } class B { flag g; } "
+            "task t(A a in f with grp x, B b in g with pair x) { }",
+            "two tag types",
+        )
+
+    def test_distinct_bindings_may_differ(self):
+        check(
+            "class A { flag f; } "
+            "task t(A a in f with grp x and pair y) { }"
+        )
+
+
+class TestTaskShape:
+    def test_parameterless_task_rejected(self):
+        expect_error(check, "task t() { }", "no parameters")

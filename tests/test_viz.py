@@ -1,0 +1,77 @@
+"""Visualization output tests."""
+
+from repro.core import annotated_cstg
+from repro.schedule.coregroup import build_group_graph, build_task_edges
+from repro.schedule.critpath import compute_critical_path
+from repro.schedule.layout import Layout
+from repro.schedule.simulator import estimate_layout
+from repro.viz import (
+    cstg_to_dot,
+    render_critical_path,
+    render_histogram,
+    render_table,
+    render_trace,
+    taskflow_to_dot,
+    trace_to_dot,
+)
+
+
+def test_cstg_dot_structure(keyword_compiled, keyword_profile):
+    cstg = annotated_cstg(keyword_compiled, keyword_profile)
+    dot = cstg_to_dot(cstg, title="keyword")
+    assert dot.startswith('digraph "keyword"')
+    assert dot.rstrip().endswith("}")
+    assert "doublecircle" in dot  # allocatable states
+    assert "processText" in dot
+    assert "style=dashed" in dot  # new-object edges
+
+
+def test_trace_dot_marks_critical_path(keyword_compiled, keyword_profile):
+    layout = Layout.single_core(keyword_compiled.info.tasks)
+    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    path = compute_critical_path(result)
+    dot = trace_to_dot(result, path)
+    assert "color=red" in dot
+    assert "startup" in dot
+
+
+def test_taskflow_dot(keyword_compiled, keyword_profile):
+    cstg = annotated_cstg(keyword_compiled, keyword_profile)
+    edges = build_task_edges(keyword_compiled.info, cstg, keyword_profile)
+    groups = build_group_graph(keyword_compiled.info, cstg, keyword_profile)
+    dot = taskflow_to_dot(edges, groups)
+    assert '"startup" -> "processText"' in dot
+    assert "cluster_g" in dot  # merged locality group box
+
+
+def test_render_trace_text(keyword_compiled, keyword_profile):
+    layout = Layout.single_core(keyword_compiled.info.tasks)
+    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    text = render_trace(result)
+    assert "core 0:" in text
+    assert "startup" in text
+
+
+def test_render_critical_path(keyword_compiled, keyword_profile):
+    layout = Layout.single_core(keyword_compiled.info.tasks)
+    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    text = render_critical_path(compute_critical_path(result))
+    assert "critical path" in text
+
+
+def test_render_histogram():
+    text = render_histogram([1, 1, 1, 2, 5, 9], bins=4, label="demo")
+    assert "demo" in text
+    assert "#" in text
+
+
+def test_render_histogram_degenerate():
+    assert "(no data)" in render_histogram([], label="empty")
+    assert "all 3 values" in render_histogram([2, 2, 2], label="flat")
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 4

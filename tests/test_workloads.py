@@ -1,0 +1,31 @@
+"""Workload scaling helper tests."""
+
+import pytest
+
+from repro.bench import BENCHMARKS, benchmark_names
+from repro.bench.workloads import double_args, scale_args
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_double_matches_suite_spec(name):
+    spec = BENCHMARKS[name]
+    assert tuple(double_args(name, spec.args)) == spec.double_args
+
+
+def test_scale_preserves_other_args():
+    scaled = scale_args("KMeans", ["10", "40", "4"], 3.0)
+    assert scaled == ["30", "40", "4"]
+
+
+def test_scale_floor_at_one():
+    assert scale_args("Fractal", ["4"], 0.01) == ["1"]
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        scale_args("Nope", ["1"], 2.0)
+
+
+def test_fractional_scaling_rounds():
+    assert scale_args("Series", ["10", "8"], 1.3) == ["13", "8"]
+    assert scale_args("Series", ["10", "8"], 1.24) == ["12", "8"]
