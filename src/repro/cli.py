@@ -31,7 +31,9 @@ from .core import (
     single_core_layout,
     synthesize_layout,
 )
+from .fault.plan import FaultPlan
 from .lang.errors import BambooError, RuntimeBambooError, ScheduleError
+from .runtime.machine import MachineConfig
 
 
 def _load(path: str, optimize: bool = False):
@@ -81,8 +83,16 @@ def _cmd_seq(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     compiled = _load(args.file, optimize=args.optimize)
+    config: Optional[MachineConfig] = None
+    if args.inject_fault or args.validate:
+        fault_plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+        config = MachineConfig(fault_plan=fault_plan, validate=args.validate)
+        if args.verbose and fault_plan is not None:
+            print(fault_plan.describe(), file=sys.stderr)
     if args.cores <= 1:
-        result = run_layout(compiled, single_core_layout(compiled), args.args)
+        result = run_layout(
+            compiled, single_core_layout(compiled), args.args, config=config
+        )
     else:
         profile = profile_program(compiled, args.args)
         report = synthesize_layout(
@@ -95,7 +105,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{report.wall_seconds:.2f}s]",
                 file=sys.stderr,
             )
-        result = run_layout(compiled, report.layout, args.args)
+        result = run_layout(compiled, report.layout, args.args, config=config)
     if result.stdout:
         print(result.stdout)
     print(
@@ -103,6 +113,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{result.messages} messages]",
         file=sys.stderr,
     )
+    if result.recovery is not None:
+        print(f"[{result.recovery.describe()}]", file=sys.stderr)
     return 0
 
 
@@ -164,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "-O", "--optimize", action="store_true",
         help="run the scalar IR optimization passes",
+    )
+    p_run.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a fault (repeatable): core=K@CYCLE crashes core K, "
+             "stall=K@CYCLE:DUR stalls it, link=MULT@CYCLE degrades hops",
+    )
+    p_run.add_argument(
+        "--validate", action="store_true",
+        help="assert the termination invariant at end of run",
     )
     p_run.set_defaults(func=_cmd_run)
 

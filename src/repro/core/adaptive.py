@@ -120,6 +120,26 @@ class AdaptiveExecutable:
         }
         self.layout = Layout.make(num_cores, mapping)
 
+    def degrade(self, dead_cores: Sequence[int]) -> None:
+        """Adapts to a partially failed processor (e.g. after a machine run
+        reported crashes in ``result.recovery.dead_cores``).
+
+        The current layout is clamped onto the survivors with the same
+        layout edit the fault-recovery engine applies mid-run
+        (:func:`repro.schedule.mapping.with_core_failed`), so the
+        executable keeps running immediately; the next run re-profiles and
+        re-optimizes for the reduced machine — the paper's §7 loop, with
+        core failure as the "new processor layout"."""
+        from ..schedule.mapping import with_core_failed
+
+        layout = self.layout
+        for core in dead_cores:
+            if core in layout.cores_used():
+                layout = with_core_failed(layout, core)
+        self.layout = layout
+        # Schedule a profiled (and therefore re-optimizing) next run.
+        self._runs = 0
+
     # -- internals ----------------------------------------------------------------
 
     def _reoptimize(self, workload: List[str]) -> None:

@@ -1,0 +1,45 @@
+"""Fault injection and transactional task recovery.
+
+Production many-core runtimes treat core and link failure as routine;
+Bamboo's commit-at-completion invariant (a task's flag/tag updates and
+object routing apply atomically at its completion event) means a crashed
+core can never have published partial state, so every in-flight invocation
+is safely re-executable. This package models exactly that:
+
+* :mod:`repro.fault.plan` — deterministic, seeded fault plans (core
+  crashes, transient stalls, link-degradation multipliers).
+* :mod:`repro.fault.injector` — fires plan events into the machine's
+  event queue.
+* :mod:`repro.fault.recovery` — the recovery engine: rolls back the
+  crashed core's in-flight invocation, reclaims its locks, migrates its
+  resident objects to survivors, and rebuilds the routing layout over the
+  surviving cores.
+* :mod:`repro.fault.stats` — recovery telemetry attached to
+  :class:`repro.runtime.machine.MachineResult`.
+"""
+
+from .plan import (
+    CoreCrash,
+    FaultError,
+    FaultPlan,
+    LinkDegrade,
+    TransientStall,
+    parse_fault_spec,
+)
+from .injector import FaultInjector
+from .recovery import RecoveryEngine, snapshot_objects, restore_snapshot
+from .stats import RecoveryStats
+
+__all__ = [
+    "CoreCrash",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegrade",
+    "RecoveryEngine",
+    "RecoveryStats",
+    "TransientStall",
+    "parse_fault_spec",
+    "restore_snapshot",
+    "snapshot_objects",
+]

@@ -1,0 +1,46 @@
+"""Fires fault-plan events into the machine's event queue.
+
+The injector is the only coupling point between a plan and a run: at
+machine start it pushes one ``"fault"`` event per plan entry into the
+ordinary event queue, so faults interleave with arrivals, dispatches, and
+completions under the machine's deterministic time/sequence order. A run
+with an empty plan pushes nothing and is bit-identical to a fault-free
+run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .plan import CoreCrash, FaultError, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.machine import ManyCoreMachine
+
+
+class FaultInjector:
+    """Validates a plan against a machine and schedules its events."""
+
+    def __init__(self, machine: "ManyCoreMachine", plan: FaultPlan):
+        self.machine = machine
+        self.plan = plan
+        self._validate()
+
+    def _validate(self) -> None:
+        layout = self.machine.layout
+        for event in self.plan.events:
+            core = getattr(event, "core", None)
+            if core is not None and not (0 <= core < layout.num_cores):
+                raise FaultError(
+                    f"fault targets core {core}, but the machine has "
+                    f"cores 0..{layout.num_cores - 1}"
+                )
+        used = set(layout.cores_used())
+        doomed = {e.core for e in self.plan.events if isinstance(e, CoreCrash)}
+        if used and not (used - doomed):
+            raise FaultError("fault plan crashes every used core")
+
+    def install(self) -> None:
+        """Pushes every plan event into the machine's queue."""
+        for event in self.plan.events:
+            self.machine._push(event.cycle, "fault", (event,))

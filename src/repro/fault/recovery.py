@@ -1,0 +1,203 @@
+"""The recovery engine: what happens when a fault event fires.
+
+Crash recovery leans entirely on the runtime's commit-at-completion
+invariant (docs/ARCHITECTURE.md, "Key invariants"): a task's flag/tag
+updates, lock-group merges, and object routing apply only at its
+completion event, so a core that dies mid-invocation has published
+*nothing*. Recovery therefore has four steps, all deterministic:
+
+1. **Roll back** the dead core's in-flight invocation: restore the
+   parameter objects' field state from the dispatch-time snapshot and
+   discard the pending commit (its completion event becomes a no-op).
+2. **Reclaim locks**: every lock group owned by the dead core is released
+   (:meth:`repro.runtime.scheduler.LockManager.release_core`) — all were
+   held for the rolled-back invocation, which no longer exists.
+3. **Rebuild the layout** over the surviving cores
+   (:func:`repro.schedule.mapping.with_core_failed` — the same
+   layout-as-data edit :class:`repro.core.adaptive.AdaptiveExecutable`
+   uses to re-optimize in the field, §7) and refresh the router so no
+   future route targets the dead core.
+4. **Migrate** every object resident on (or in flight to) the dead core
+   to the surviving instance the degraded routing table picks, paying
+   mesh message costs; pending and rolled-back invocations re-form there
+   through the normal parameter-set machinery and execute exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..analysis.astate import state_of_object
+from ..runtime.objects import BArray, BObject
+from ..schedule.layout import Router
+from ..schedule.mapping import with_core_failed
+from .plan import CoreCrash, FaultError, LinkDegrade, TransientStall
+from .stats import RecoveryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.machine import ManyCoreMachine
+
+#: A snapshot entry: (container, saved contents). Containers are the
+#: mutable heap values a task body can write through — objects and arrays.
+Snapshot = List[Tuple[object, List[object]]]
+
+
+def snapshot_objects(objects: List[BObject]) -> Snapshot:
+    """Captures the field state of everything reachable from ``objects``.
+
+    Flags and tags need no snapshot: they change only at commit, which a
+    crash drops wholesale. Only field writes (and array element writes)
+    happen eagerly during task execution, so they are what rollback must
+    undo.
+    """
+    entries: Snapshot = []
+    seen = set()
+    stack: List[object] = list(objects)
+    while stack:
+        value = stack.pop()
+        if isinstance(value, BObject):
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            entries.append((value, list(value.fields)))
+            stack.extend(value.fields)
+        elif isinstance(value, BArray):
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            entries.append((value, list(value.values)))
+            stack.extend(value.values)
+    return entries
+
+
+def restore_snapshot(snapshot: Snapshot) -> None:
+    """Rolls every snapshotted container back to its saved contents."""
+    for container, saved in snapshot:
+        if isinstance(container, BObject):
+            container.fields[:] = saved
+        else:
+            container.values[:] = saved
+
+
+class RecoveryEngine:
+    """Applies fault events to a running machine and repairs the damage."""
+
+    def __init__(self, machine: "ManyCoreMachine", stats: RecoveryStats):
+        self.machine = machine
+        self.stats = stats
+
+    # -- event dispatch ------------------------------------------------------
+
+    def apply(self, event, time: int) -> None:
+        if isinstance(event, CoreCrash):
+            self._crash(event.core, time)
+        elif isinstance(event, TransientStall):
+            self._stall(event.core, event.duration, time)
+        elif isinstance(event, LinkDegrade):
+            self._degrade(event.multiplier)
+        else:  # pragma: no cover - exhaustive
+            raise FaultError(f"unknown fault event {event!r}")
+
+    # -- crash ---------------------------------------------------------------
+
+    def _crash(self, core: int, time: int) -> None:
+        machine = self.machine
+        if core in machine.dead_cores or core not in machine.schedulers:
+            return  # already dead, or never hosted anything: nothing to do
+        machine.dead_cores.add(core)
+        self.stats.crashes += 1
+        self.stats.dead_cores.append(core)
+        machine.record_trace(time, f"crash core {core}")
+
+        # Charged-but-unfinished work on the dead core is lost.
+        lost = max(0, machine.busy_until[core] - time)
+        machine.busy_until[core] = min(machine.busy_until[core], time)
+        self.stats.downtime_cycles += lost
+
+        # Roll back the in-flight invocation, if any; its parameter objects
+        # re-route below alongside the pending queue.
+        replay: List[Tuple[str, int, BObject]] = []
+        commit_id = machine._inflight.pop(core, None)
+        if commit_id is not None and commit_id in machine._commits:
+            commit = machine._commits.pop(commit_id)
+            if commit.snapshot is not None:
+                restore_snapshot(commit.snapshot)
+            invocation = commit.invocation
+            for param_index, obj in enumerate(invocation.objects):
+                replay.append((invocation.task, param_index, obj))
+            self.stats.tasks_replayed += 1
+
+        self.stats.locks_reclaimed += machine.locks.release_core(core)
+
+        # Degrade the layout to the survivors and refresh routing state.
+        survivors = [
+            c for c in machine.layout.cores_used() if c not in machine.dead_cores
+        ]
+        if not survivors:
+            raise FaultError("no surviving cores: cannot recover")
+        machine.layout = with_core_failed(machine.layout, core, survivors)
+        machine.router = Router(machine.info, machine.layout)
+        for survivor in survivors:
+            scheduler = machine.schedulers[survivor]
+            for task in machine.layout.tasks_on_core(survivor):
+                scheduler.adopt_task(task)
+
+        # Migrate everything the dead core was holding.
+        pending, ready = machine.schedulers[core].drain()
+        self.stats.invocations_requeued += len(ready)
+        migrations = list(replay)
+        for invocation in ready:
+            for param_index, obj in enumerate(invocation.objects):
+                migrations.append((invocation.task, param_index, obj))
+        migrations.extend(pending)
+        window = 0
+        for task, param_index, obj in migrations:
+            window = max(window, self._migrate(core, task, param_index, obj, time))
+        self.stats.downtime_cycles += window
+
+        # Wake the survivors that just received work.
+        for survivor in survivors:
+            if machine.schedulers[survivor].has_work():
+                machine._kick(survivor, time)
+
+    def _migrate(
+        self, dead_core: int, task: str, param_index: int, obj: BObject, time: int
+    ) -> int:
+        """Sends one parameter-set entry from the dead core to the instance
+        the degraded routing table picks; returns the migration latency."""
+        machine = self.machine
+        dest, latency = machine._choose_destination(
+            dead_core, task, obj, state_of_object(obj)
+        )
+        machine._push(time + latency, "arrive", (dest, task, param_index, obj))
+        machine.messages += 1
+        self.stats.objects_migrated += 1
+        return latency
+
+    def redirect_arrival(
+        self, dead_core: int, task: str, param_index: int, obj: BObject, time: int
+    ) -> None:
+        """Re-routes an object that arrives at a core after it died (the
+        message was in flight when the crash happened)."""
+        self._migrate(dead_core, task, param_index, obj, time)
+
+    # -- stall / link --------------------------------------------------------
+
+    def _stall(self, core: int, duration: int, time: int) -> None:
+        machine = self.machine
+        if core in machine.dead_cores or core not in machine.busy_until:
+            return
+        self.stats.stalls += 1
+        self.stats.stall_cycles += duration
+        resume = max(machine.busy_until[core], time) + duration
+        machine.busy_until[core] = resume
+        machine.record_trace(time, f"stall core {core} until {resume}")
+        # Work arriving during the stall re-kicks itself (deferred to
+        # busy_until); an explicit wake-up is needed only for work the
+        # core already had queued.
+        if machine.schedulers[core].has_work():
+            machine._kick(core, resume)
+
+    def _degrade(self, multiplier: float) -> None:
+        self.stats.link_events += 1
+        self.machine._link_multiplier = multiplier

@@ -1,0 +1,74 @@
+"""Recovery telemetry.
+
+One :class:`RecoveryStats` instance accompanies a machine run whenever a
+fault plan is installed; it is surfaced on
+:class:`repro.runtime.machine.MachineResult` as ``result.recovery``.
+
+The exactly-once ledger: ``commits_applied`` counts invocations whose
+effects actually committed, ``commits_dropped`` counts invocations that
+were executing on a core when it crashed (their effects were rolled back
+and never published), and ``tasks_replayed`` counts the rolled-back
+invocations whose parameter objects were re-routed to survivors. Since a
+dropped commit never applies and a replayed invocation commits normally,
+every logical task commits exactly once — ``duplicate_commits`` stays 0 by
+construction and is asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class RecoveryStats:
+    """Counters describing fault handling during one machine run."""
+
+    #: core crashes applied (a crash of an already-dead or unused core is
+    #: ignored and not counted here)
+    crashes: int = 0
+    #: transient stalls applied
+    stalls: int = 0
+    #: link-degradation events applied
+    link_events: int = 0
+    #: in-flight invocations rolled back at a crash and re-routed — each
+    #: re-executes (and commits) exactly once on a survivor
+    tasks_replayed: int = 0
+    #: pending (formed but not yet dispatched) invocations re-enqueued from
+    #: a dead core onto survivors
+    invocations_requeued: int = 0
+    #: objects resident on (or in flight to) a dead core migrated to a
+    #: surviving core, paying mesh message costs
+    objects_migrated: int = 0
+    #: lock groups reclaimed from crashed cores
+    locks_reclaimed: int = 0
+    #: completion events whose commit was dropped because the core died
+    commits_dropped: int = 0
+    #: commits that applied (the exactly-once count)
+    commits_applied: int = 0
+    #: commits that would have applied twice — impossible by construction,
+    #: tracked so tests can assert the invariant
+    duplicate_commits: int = 0
+    #: work cycles lost to crashes (charged-but-discarded in-flight work)
+    #: plus the recovery window (the longest migration latency per crash)
+    downtime_cycles: int = 0
+    #: cycles cores spent frozen in transient stalls
+    stall_cycles: int = 0
+    #: cores that died during the run
+    dead_cores: List[int] = field(default_factory=list)
+
+    def exactly_once(self) -> bool:
+        """True when no commit applied more than once."""
+        return self.duplicate_commits == 0
+
+    def describe(self) -> str:
+        return (
+            f"recovery: {self.crashes} crash(es) on cores {self.dead_cores}, "
+            f"{self.tasks_replayed} task(s) replayed, "
+            f"{self.invocations_requeued} invocation(s) requeued, "
+            f"{self.objects_migrated} object(s) migrated, "
+            f"{self.locks_reclaimed} lock group(s) reclaimed, "
+            f"{self.downtime_cycles:,} downtime cycles, "
+            f"{self.commits_applied} commit(s) applied / "
+            f"{self.commits_dropped} dropped"
+        )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.astate import AState, state_of_object
 from ..ir import costs
@@ -42,6 +42,10 @@ from .objects import BObject, Heap
 from .profiler import ProfileData
 from .scheduler import CoreScheduler, Invocation, LockManager
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fault.plan import FaultPlan
+    from ..fault.stats import RecoveryStats
+
 
 @dataclass
 class MachineConfig:
@@ -53,6 +57,16 @@ class MachineConfig:
     #: per-core relative speeds (heterogeneous cores, §4.6 extension);
     #: missing cores default to 1.0
     core_speeds: Optional[Dict[int, float]] = None
+    #: injected faults (:mod:`repro.fault`); None means no fault machinery
+    #: is installed and the run is bit-identical to one without this field
+    fault_plan: Optional["FaultPlan"] = None
+    #: assert the termination invariant (no locks held, no queued
+    #: invocations on live cores) at end of run
+    validate: bool = False
+    #: record a per-commit/per-fault event trace on the result (for
+    #: determinism checks and debugging; off by default — it is the only
+    #: config flag that allocates per-event)
+    record_trace: bool = False
     max_invocations: int = 5_000_000
     max_events: int = 20_000_000
     interp_max_steps: int = 2_000_000_000
@@ -72,6 +86,10 @@ class MachineResult:
     lock_failures: int
     stdout: str
     profile: Optional[ProfileData] = None
+    #: fault-handling telemetry; present iff a fault plan was installed
+    recovery: Optional["RecoveryStats"] = None
+    #: event trace (only with ``MachineConfig.record_trace``)
+    trace: Optional[List[str]] = None
 
     def busy_fraction(self) -> float:
         if not self.core_busy or self.total_cycles == 0:
@@ -90,6 +108,12 @@ class _Commit:
     flag_updates: Dict[int, Dict[str, bool]]
     routes: List[Tuple[BObject, str, int, int, int]]
     # (object, task, param_index, dest core, extra latency)
+    #: dispatch-time state of everything the task can write, for crash
+    #: rollback (captured only when a fault plan is installed)
+    snapshot: Optional[list] = None
+    #: output the task produced, published at commit (fault runs only —
+    #: a dropped commit must not leave output behind)
+    output: Optional[str] = None
 
 
 class ManyCoreMachine:
@@ -136,6 +160,30 @@ class ManyCoreMachine:
         self._commits: Dict[int, _Commit] = {}
         self._commit_id = 0
 
+        # Fault machinery — installed only when a plan is present, so a
+        # plan-free run takes exactly the code paths it always did.
+        self.dead_cores: Set[int] = set()
+        self._inflight: Dict[int, int] = {}  # core -> pending commit id
+        self._link_multiplier = 1.0
+        self.recovery: Optional["RecoveryStats"] = None
+        self._fault_engine = None
+        self._injector = None
+        if self.config.fault_plan is not None and self.config.fault_plan.events:
+            from ..fault.injector import FaultInjector
+            from ..fault.plan import FaultError
+            from ..fault.recovery import RecoveryEngine
+            from ..fault.stats import RecoveryStats
+
+            if self.config.centralized_scheduler:
+                raise FaultError(
+                    "fault injection is not supported with the "
+                    "centralized scheduler (its core-0 hub cannot fail over)"
+                )
+            self.recovery = RecoveryStats()
+            self._fault_engine = RecoveryEngine(self, self.recovery)
+            self._injector = FaultInjector(self, self.config.fault_plan)
+        self.trace: Optional[List[str]] = [] if self.config.record_trace else None
+
         # statistics
         self.invocation_counts: Dict[str, int] = {}
         self.exit_counts: Dict[Tuple[str, int], int] = {}
@@ -151,24 +199,40 @@ class ManyCoreMachine:
         self._seq += 1
         heapq.heappush(self._events, (time, self._seq, kind, payload))
 
+    def record_trace(self, time: int, line: str) -> None:
+        if self.trace is not None:
+            self.trace.append(f"{time} {line}")
+
     # -- main loop ----------------------------------------------------------------
 
     def run(self, args: Sequence[str]) -> MachineResult:
         startup = make_startup_object(self.heap, self.info, list(args))
         start_time = costs.RUNTIME_INIT_COST
         self._route_concrete(startup, sender_core=None, time=start_time)
+        if self._injector is not None:
+            self._injector.install()
 
         events_processed = 0
         last_time = start_time
         total_invocations = 0
         while self._events:
             time, _, kind, payload = heapq.heappop(self._events)
-            last_time = max(last_time, time)
+            if kind != "fault":
+                # A fault event alone is not machine activity: a crash or
+                # stall scheduled after quiescence must not extend the run.
+                last_time = max(last_time, time)
             events_processed += 1
             if events_processed > self.config.max_events:
                 raise ScheduleError("machine event budget exhausted")
             if kind == "arrive":
                 core, task, param_index, obj = payload
+                if core in self.dead_cores:
+                    # The message was in flight when the core died; the
+                    # recovery engine forwards it to a survivor.
+                    self._fault_engine.redirect_arrival(
+                        core, task, param_index, obj, time
+                    )
+                    continue
                 scheduler = self.schedulers[core]
                 scheduler.enqueue_object(task, param_index, obj, time)
                 if scheduler.has_work():
@@ -182,16 +246,27 @@ class ManyCoreMachine:
                 if total_invocations > self.config.max_invocations:
                     raise ScheduleError("machine invocation budget exhausted")
                 self._complete(core, commit_id, time)
+            elif kind == "fault":
+                (event,) = payload
+                self._fault_engine.apply(event, time)
             else:  # pragma: no cover - exhaustive
                 raise ScheduleError(f"unknown event kind {kind}")
 
-        total = max([last_time] + list(self.busy_until.values()))
+        if self._fault_engine is not None:
+            # Stalls can leave busy_until past the last event on a core
+            # with nothing left to run; the program ends with its last
+            # arrival/dispatch/commit, not with an idle core's stall tail.
+            total = last_time
+        else:
+            total = max([last_time] + list(self.busy_until.values()))
         busy = {
             core: self.busy_until[core] - costs.RUNTIME_INIT_COST
             for core in self.busy_until
         }
         if self.profile is not None:
             self.profile.run_cycles = total
+        if self.config.validate:
+            self._assert_quiescent()
         return MachineResult(
             total_cycles=total,
             core_busy=busy,
@@ -203,7 +278,27 @@ class ManyCoreMachine:
             lock_failures=self.lock_failures,
             stdout=self.interp.output(),
             profile=self.profile,
+            recovery=self.recovery,
+            trace=self.trace,
         )
+
+    def _assert_quiescent(self) -> None:
+        """The termination invariant: when the event queue drains, no lock
+        may still be held and no live core may have runnable work."""
+        held = self.locks.held_groups()
+        if held:
+            raise ScheduleError(
+                f"termination invariant violated: {len(held)} lock group(s) "
+                f"still held at end of run: {held}"
+            )
+        for core, scheduler in self.schedulers.items():
+            if core in self.dead_cores:
+                continue
+            if scheduler.has_work():
+                raise ScheduleError(
+                    f"termination invariant violated: core {core} still has "
+                    f"{len(scheduler.ready)} queued invocation(s) at end of run"
+                )
 
     # -- dispatch ---------------------------------------------------------------------
 
@@ -212,6 +307,8 @@ class ManyCoreMachine:
         self._push(ready_at, "kick", (core,))
 
     def _dispatch(self, core: int, time: int) -> None:
+        if core in self.dead_cores:
+            return  # crashed; its work has migrated to survivors
         if self.busy_until[core] > time:
             return  # busy; the completion handler re-kicks
         scheduler = self.schedulers[core]
@@ -238,7 +335,23 @@ class ManyCoreMachine:
             start = self._sched_clock
 
         pre_cost = costs.DISPATCH_COST + costs.LOCK_COST * len(invocation.objects)
+        snapshot = None
+        out_pos = 0
+        if self._fault_engine is not None:
+            # A crash between dispatch and completion rolls the invocation
+            # back: capture the pre-state of everything the body can write,
+            # and divert its output so a dropped commit publishes nothing.
+            from ..fault.recovery import snapshot_objects
+
+            snapshot = snapshot_objects(invocation.objects)
+            out_pos = self.interp.stdout.tell()
         effects = self.interp.run_task(invocation.task, invocation.objects)
+        output: Optional[str] = None
+        if self._fault_engine is not None:
+            buf = self.interp.stdout
+            output = buf.getvalue()[out_pos:]
+            buf.seek(out_pos)
+            buf.truncate()
 
         func = self.ir_program.tasks[invocation.task]
         spec = func.exits[effects.exit_id]
@@ -261,7 +374,11 @@ class ManyCoreMachine:
             effects=effects,
             flag_updates=flag_updates,
             routes=routes,
+            snapshot=snapshot,
+            output=output,
         )
+        if self._fault_engine is not None:
+            self._inflight[core] = self._commit_id
         self.busy_until[core] = completion
         self._push(completion, "complete", (core, self._commit_id))
 
@@ -383,9 +500,14 @@ class ManyCoreMachine:
         if dest == sender:
             return dest, 0
         hops = self.layout.hops(sender, dest)
+        hop_cost = hops * costs.HOP_COST
+        if self._link_multiplier != 1.0:
+            # A degraded link fabric (fault injection) inflates per-hop
+            # latency; 1.0 leaves the nominal cost expression untouched.
+            hop_cost = int(round(hop_cost * self._link_multiplier))
         latency = (
             costs.MSG_SEND_COST
-            + hops * costs.HOP_COST
+            + hop_cost
             + costs.MSG_WORD_COST * len(obj.fields)
             + costs.ENQUEUE_COST
         )
@@ -413,10 +535,20 @@ class ManyCoreMachine:
     # -- completion -----------------------------------------------------------------------
 
     def _complete(self, core: int, commit_id: int, time: int) -> None:
+        if commit_id not in self._commits:
+            # The owning core crashed mid-flight; the recovery engine
+            # already rolled the invocation back and re-routed its objects.
+            if self.recovery is not None:
+                self.recovery.commits_dropped += 1
+            return
         commit = self._commits.pop(commit_id)
+        if self._fault_engine is not None:
+            self._inflight.pop(core, None)
         invocation = commit.invocation
         effects = commit.effects
         task = invocation.task
+        if commit.output:
+            self.interp.stdout.write(commit.output)
 
         # 1. Commit flag updates and tag actions.
         for param_index, updates in commit.flag_updates.items():
@@ -449,6 +581,9 @@ class ManyCoreMachine:
         self.invocation_counts[task] = self.invocation_counts.get(task, 0) + 1
         key = (task, effects.exit_id)
         self.exit_counts[key] = self.exit_counts.get(key, 0) + 1
+        if self.recovery is not None:
+            self.recovery.commits_applied += 1
+        self.record_trace(time, f"commit core {core} {task} exit {effects.exit_id}")
 
         # 5. Keep the pipeline moving: this core and any lock-blocked cores.
         self._kick(core, time)

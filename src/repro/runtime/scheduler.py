@@ -90,6 +90,23 @@ class LockManager:
     def is_locked(self, obj: BObject) -> bool:
         return self._find(obj.obj_id) in self._held
 
+    def release_core(self, core: int) -> int:
+        """Releases every lock group owned by ``core``; returns how many.
+
+        Fault recovery calls this when a core crashes: locks are acquired
+        all-or-nothing at dispatch and held only for the invocation in
+        flight, so everything the dead core owned belonged to the
+        invocation being rolled back and can be reclaimed wholesale.
+        """
+        roots = [root for root, owner in self._held.items() if owner == core]
+        for root in roots:
+            del self._held[root]
+        return len(roots)
+
+    def held_groups(self) -> Dict[int, int]:
+        """A snapshot of currently held groups (root -> owner core)."""
+        return dict(self._held)
+
 
 class CoreScheduler:
     """The scheduler state of a single core."""
@@ -106,6 +123,35 @@ class CoreScheduler:
             task_info = info.task_info(task)
             for param_index in range(len(task_info.decl.params)):
                 self.param_sets[(task, param_index)] = deque()
+
+    # -- fault recovery -----------------------------------------------------------
+
+    def adopt_task(self, task: str) -> None:
+        """Registers a task newly mapped to this core (degraded layouts map
+        a dead core's tasks onto survivors mid-run). Idempotent."""
+        if task in self.task_names:
+            return
+        self.task_names.append(task)
+        task_info = self.info.task_info(task)
+        for param_index in range(len(task_info.decl.params)):
+            self.param_sets[(task, param_index)] = deque()
+
+    def drain(self) -> Tuple[List[Tuple[str, int, BObject]], List[Invocation]]:
+        """Empties the scheduler when its core dies.
+
+        Returns ``(pending, ready)``: ``pending`` is every parameter-set
+        entry as ``(task, param_index, object)``, ``ready`` is every formed
+        but undispatched invocation. The caller migrates both to surviving
+        cores; this scheduler keeps no work.
+        """
+        pending: List[Tuple[str, int, BObject]] = []
+        for (task, param_index), bucket in sorted(self.param_sets.items()):
+            for obj in bucket:
+                pending.append((task, param_index, obj))
+            bucket.clear()
+        ready = list(self.ready)
+        self.ready.clear()
+        return pending, ready
 
     # -- arrival & invocation formation ------------------------------------------
 

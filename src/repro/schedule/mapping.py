@@ -304,18 +304,50 @@ def with_instance_moved(
     cores.remove(from_core)
     if to_core not in cores:
         cores.append(to_core)
-    return Layout.make(layout.num_cores, mapping, layout.mesh_width)
+    return Layout.make(
+        layout.num_cores, mapping, layout.mesh_width, layout.topology
+    )
+
+
+def with_core_failed(
+    layout: Layout, dead_core: int, survivors: Optional[List[int]] = None
+) -> Layout:
+    """Evicts a core from a layout: every task instance on ``dead_core``
+    moves to the nearest surviving core (ties break toward the lowest core
+    id, so the result is deterministic).
+
+    This is the degraded-mode counterpart of the DSA edits above — the
+    fault-recovery engine applies it when a core crashes, and
+    :meth:`repro.core.adaptive.AdaptiveExecutable.degrade` uses it to keep
+    an executable running on a partially failed processor until the next
+    field re-optimization (§7).
+    """
+    if survivors is None:
+        survivors = [c for c in layout.cores_used() if c != dead_core]
+    survivors = [c for c in survivors if c != dead_core]
+    if not survivors:
+        raise ScheduleError(f"no surviving cores to absorb core {dead_core}")
+    result = layout
+    target = min(survivors, key=lambda c: (layout.hops(dead_core, c), c))
+    for task in layout.tasks():
+        if dead_core in result.cores_of(task):
+            result = with_instance_moved(result, task, dead_core, target)
+    return result
 
 
 def with_instance_added(layout: Layout, task: str, core: int) -> Layout:
     mapping = {t: list(cores) for t, cores in layout.as_dict().items()}
     if core not in mapping[task]:
         mapping[task].append(core)
-    return Layout.make(layout.num_cores, mapping, layout.mesh_width)
+    return Layout.make(
+        layout.num_cores, mapping, layout.mesh_width, layout.topology
+    )
 
 
 def with_instance_removed(layout: Layout, task: str, core: int) -> Layout:
     mapping = {t: list(cores) for t, cores in layout.as_dict().items()}
     if core in mapping[task] and len(mapping[task]) > 1:
         mapping[task].remove(core)
-    return Layout.make(layout.num_cores, mapping, layout.mesh_width)
+    return Layout.make(
+        layout.num_cores, mapping, layout.mesh_width, layout.topology
+    )

@@ -1,0 +1,128 @@
+"""Determinism: the invariant docs/ARCHITECTURE.md claims, enforced.
+
+Two runs of anything — same program, same seed, same layout — must produce
+byte-identical cycle counts and event traces. This holds for fault runs
+too: the same fault plan produces the same crash, the same recovery, and
+the same final state.
+"""
+
+import pytest
+
+from repro.bench import benchmark_names, load_benchmark
+from repro.core import run_layout, single_core_layout
+from repro.fault import CoreCrash, FaultPlan, LinkDegrade, TransientStall
+from repro.runtime.machine import MachineConfig
+from repro.schedule.layout import Layout
+
+SMALL_ARGS = {
+    "Tracking": ["12", "6"],
+    "KMeans": ["6", "8", "3"],
+    "MonteCarlo": ["10", "40"],
+    "FilterBank": ["8", "24"],
+    "Fractal": ["16"],
+    "Series": ["10", "12"],
+    "Keyword": ["8"],
+}
+
+
+def quad_layout(compiled):
+    mapping = {t: [0] for t in compiled.info.tasks}
+    mapping["processText"] = [0, 1, 2, 3]
+    return Layout.make(4, mapping)
+
+
+def fingerprint(result):
+    """Everything observable about a run, as comparable bytes."""
+    lines = [
+        f"cycles={result.total_cycles}",
+        f"messages={result.messages}",
+        f"busy={sorted(result.core_busy.items())}",
+        f"invocations={sorted(result.invocations.items())}",
+        f"exits={sorted(result.exit_counts.items())}",
+        f"stale={result.stale_invocations}",
+        f"lock_failures={result.lock_failures}",
+        f"stdout={result.stdout!r}",
+    ]
+    if result.trace is not None:
+        lines.extend(result.trace)
+    return "\n".join(lines).encode()
+
+
+class TestMachineDeterminism:
+    def test_identical_runs_byte_identical(self, keyword_compiled):
+        layout = quad_layout(keyword_compiled)
+        config = MachineConfig(record_trace=True)
+        first = run_layout(keyword_compiled, layout, ["12"], config=config)
+        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        assert first.trace  # the trace actually recorded something
+        assert fingerprint(first) == fingerprint(second)
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_benchmarks_byte_identical(self, name):
+        compiled = load_benchmark(name)
+        layout = single_core_layout(compiled)
+        config = MachineConfig(record_trace=True)
+        first = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        second = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_trace_off_by_default(self, keyword_compiled):
+        result = run_layout(keyword_compiled, quad_layout(keyword_compiled), ["4"])
+        assert result.trace is None
+
+
+class TestFaultDeterminism:
+    def test_same_fault_plan_identical_recovery(self, keyword_compiled):
+        layout = quad_layout(keyword_compiled)
+        plan = FaultPlan.make(
+            [
+                CoreCrash(core=1, cycle=2000),
+                TransientStall(core=2, cycle=1200, duration=700),
+                LinkDegrade(cycle=500, multiplier=2.0),
+            ]
+        )
+        config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
+        first = run_layout(keyword_compiled, layout, ["12"], config=config)
+        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        assert fingerprint(first) == fingerprint(second)
+        assert first.recovery == second.recovery
+        assert "crash core 1" in "\n".join(first.trace)
+
+    def test_fault_free_config_matches_no_config(self, keyword_compiled):
+        # The fault machinery must be pay-for-what-you-use: an absent plan
+        # takes exactly the seed code paths (bit-identical cycle counts).
+        layout = quad_layout(keyword_compiled)
+        plain = run_layout(keyword_compiled, layout, ["12"])
+        gated = run_layout(
+            keyword_compiled, layout, ["12"], config=MachineConfig(fault_plan=None)
+        )
+        assert fingerprint(plain) == fingerprint(gated)
+
+    @pytest.mark.parametrize("name", ["Keyword", "MonteCarlo", "Series"])
+    def test_benchmark_fault_runs_deterministic(self, name):
+        compiled = load_benchmark(name)
+        layout = single_core_layout(compiled)
+        base = run_layout(compiled, layout, SMALL_ARGS[name])
+        # Stall the only core mid-run: recovery-adjacent machinery (event
+        # interleaving, busy-time bookkeeping) must stay deterministic.
+        plan = FaultPlan.make(
+            [TransientStall(core=0, cycle=base.total_cycles // 2, duration=911)]
+        )
+        config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
+        first = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        second = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        assert fingerprint(first) == fingerprint(second)
+        assert first.stdout == base.stdout
+
+    def test_random_plans_reproducible_end_to_end(self, keyword_compiled):
+        layout = quad_layout(keyword_compiled)
+        results = []
+        for _ in range(2):
+            plan = FaultPlan.random_plan(
+                seed=3, num_cores=4, horizon=3000, crashes=1, stalls=1
+            )
+            config = MachineConfig(fault_plan=plan, validate=True)
+            results.append(run_layout(keyword_compiled, layout, ["12"], config=config))
+        assert fingerprint(results[0]) == fingerprint(results[1])
+        assert results[0].recovery == results[1].recovery
+        assert results[0].stdout == "total=24"
