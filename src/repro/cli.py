@@ -9,6 +9,11 @@ Commands
     Run the program's ``SeqMain.run`` sequentially (the C-baseline mode).
 ``run FILE [ARGS...] --cores N``
     Full pipeline: profile, synthesize a layout, execute on the machine.
+    ``--resilience`` runs with detection-driven failure handling
+    (heartbeats, watchdog deadlines, retry/quarantine); ``--chaos N``
+    instead sweeps N seeded fault plans and exits nonzero if any
+    resilience invariant (termination, exactly-once commit, quarantine
+    accounting, baseline equivalence) is violated.
 ``cstg FILE [ARGS...] [--dot]``
     Print the profile-annotated CSTG (optionally as Graphviz DOT).
 ``bench NAME [--cores N]``
@@ -83,18 +88,30 @@ def _cmd_seq(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     compiled = _load(args.file, optimize=args.optimize)
+    resilience = None
+    profile = None
+    if args.resilience or args.chaos:
+        from .resilience import ResilienceConfig
+
+        profile = profile_program(compiled, args.args)
+        resilience = ResilienceConfig(
+            heartbeat_interval=args.heartbeat_interval,
+            deadline_multiplier=args.deadline_mult,
+            profile=profile if args.deadline_mult is not None else None,
+        )
     config: Optional[MachineConfig] = None
-    if args.inject_fault or args.validate:
+    if args.inject_fault or args.validate or resilience is not None:
         fault_plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
-        config = MachineConfig(fault_plan=fault_plan, validate=args.validate)
+        config = MachineConfig(
+            fault_plan=fault_plan, resilience=resilience, validate=args.validate
+        )
         if args.verbose and fault_plan is not None:
             print(fault_plan.describe(), file=sys.stderr)
     if args.cores <= 1:
-        result = run_layout(
-            compiled, single_core_layout(compiled), args.args, config=config
-        )
+        layout = single_core_layout(compiled)
     else:
-        profile = profile_program(compiled, args.args)
+        if profile is None:
+            profile = profile_program(compiled, args.args)
         report = synthesize_layout(
             compiled, profile, args.cores, seed=args.seed
         )
@@ -105,7 +122,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{report.wall_seconds:.2f}s]",
                 file=sys.stderr,
             )
-        result = run_layout(compiled, report.layout, args.args, config=config)
+        layout = report.layout
+    if args.chaos:
+        from .resilience import run_chaos
+
+        chaos = run_chaos(
+            compiled,
+            layout,
+            args.args,
+            runs=args.chaos,
+            base_seed=args.seed,
+            resilience=resilience,
+        )
+        print(chaos.describe())
+        return 0 if chaos.ok else 1
+    result = run_layout(compiled, layout, args.args, config=config)
     if result.stdout:
         print(result.stdout)
     print(
@@ -185,6 +216,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--validate", action="store_true",
         help="assert the termination invariant at end of run",
+    )
+    p_run.add_argument(
+        "--resilience", action="store_true",
+        help="enable detection-driven failure handling (heartbeats, "
+             "missed-beat detection, watchdog deadlines, quarantine)",
+    )
+    p_run.add_argument(
+        "--heartbeat-interval", type=int, default=500, metavar="CYCLES",
+        help="cycles between liveness heartbeats (with --resilience)",
+    )
+    p_run.add_argument(
+        "--deadline-mult", type=float, default=None, metavar="X",
+        help="watchdog deadline = profiled task cost x X (with --resilience)",
+    )
+    p_run.add_argument(
+        "--chaos", type=int, default=0, metavar="N",
+        help="run a chaos sweep of N seeded fault plans under resilience; "
+             "exit nonzero if any invariant is violated",
     )
     p_run.set_defaults(func=_cmd_run)
 

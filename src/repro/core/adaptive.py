@@ -19,10 +19,11 @@ predicts an improvement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from ..runtime.machine import MachineResult
+from ..resilience.config import ResilienceConfig
+from ..runtime.machine import MachineConfig, MachineResult
 from ..runtime.profiler import ProfileData
 from ..schedule.anneal import AnnealConfig
 from ..schedule.layout import Layout
@@ -65,6 +66,12 @@ class AdaptiveExecutable:
     min_gain:
         Adopt a new layout only if the scheduling simulator predicts at
         least this relative improvement on the observed workload.
+    resilience:
+        Run production executions with detection-driven resilience
+        (:mod:`repro.resilience`). Watchdog deadlines that need cost
+        estimates draw them from the executable's own field profile, and a
+        run that permanently loses cores auto-degrades the layout for the
+        next run — the §7 loop with core failure as the layout change.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class AdaptiveExecutable:
         seed: int = 0,
         config: Optional[AnnealConfig] = None,
         hints: Optional[Dict[str, str]] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.compiled = compiled
         self.num_cores = num_cores
@@ -84,6 +92,7 @@ class AdaptiveExecutable:
         self.seed = seed
         self.config = config
         self.hints = hints
+        self.resilience = resilience
         #: current layout information — starts conservative (single core),
         #: like a freshly shipped executable with no field data yet
         self.layout: Layout = single_core_layout(compiled)
@@ -93,20 +102,42 @@ class AdaptiveExecutable:
 
     # -- the field loop --------------------------------------------------------
 
-    def run(self, args: Sequence[str]) -> MachineResult:
+    def run(self, args: Sequence[str], fault_plan=None) -> MachineResult:
         """One production run; periodically triggers re-optimization.
 
         Profile collection piggybacks on the production run itself (no
         separate profiling execution), mirroring "an executable would
-        periodically profile itself"."""
+        periodically profile itself". ``fault_plan`` injects faults into
+        this run; with a resilience config installed the failures are
+        detected, survived, and folded into the layout for the next run."""
         self._runs += 1
         collect = self._runs % self.profile_every == 0 or self._runs == 1
+        machine_config = None
+        if self.resilience is not None:
+            resilience = self.resilience
+            if resilience.profile is None and self._last_profile is not None:
+                # Watchdog deadlines come from the executable's own field
+                # profile — layout and policy both derived from observation.
+                resilience = replace(resilience, profile=self._last_profile)
+            machine_config = MachineConfig(
+                fault_plan=fault_plan, resilience=resilience
+            )
+        elif fault_plan is not None:
+            machine_config = MachineConfig(fault_plan=fault_plan)
         result = run_layout(
-            self.compiled, self.layout, args, collect_profile=collect
+            self.compiled,
+            self.layout,
+            args,
+            config=machine_config,
+            collect_profile=collect,
         )
         if collect and result.profile is not None:
             self._last_profile = result.profile
             self._reoptimize(list(args))
+        if self.resilience is not None and result.core_death_cycles:
+            # Cores still dead at end of run stay dead for the next one;
+            # shrink the layout now and re-optimize on the reduced machine.
+            self.degrade(sorted(result.core_death_cycles))
         return result
 
     def retarget(self, num_cores: int) -> None:

@@ -25,7 +25,7 @@ completion event, so a core that dies mid-invocation has published
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..analysis.astate import state_of_object
 from ..runtime.objects import BArray, BObject
@@ -101,12 +101,39 @@ class RecoveryEngine:
     # -- crash ---------------------------------------------------------------
 
     def _crash(self, core: int, time: int) -> None:
-        machine = self.machine
-        if core in machine.dead_cores or core not in machine.schedulers:
+        """Oracle-driven crash: halt and recover in the same event (PR 1
+        semantics, used when no detection-driven resilience is installed)."""
+        commit = self.halt_core(core, time)
+        if core not in self.machine.halted_cores:
             return  # already dead, or never hosted anything: nothing to do
-        machine.dead_cores.add(core)
+        self.recover_core(core, time, commit)
+
+    def halt_core(self, core: int, time: int):
+        """Silently kills a core: it stops dispatching and heartbeating,
+        its pending commit is unscheduled (the completion event becomes a
+        no-op), and charged-but-unfinished cycles are written off.
+
+        Publishes *nothing* about the failure — with detection-driven
+        resilience the monitor must discover the death from missed
+        heartbeats. Returns the in-flight commit (for rollback at recovery
+        time), or None if the core was idle.
+        """
+        machine = self.machine
+        if core in machine.halted_cores or core not in machine.schedulers:
+            return None
+        if core in machine.dead_cores:
+            # The detector already evicted this core on a false suspicion;
+            # the real crash just makes the eviction permanent. Its work
+            # already migrated and its commit already rolled back.
+            machine.halted_cores.add(core)
+            machine.suspected_cores.discard(core)
+            self.stats.crashes += 1
+            self.stats.dead_cores.append(core)
+            machine.record_trace(time, f"crash core {core} (already evicted)")
+            return None
+        machine.halted_cores.add(core)
+        machine.death_cycles.setdefault(core, time)
         self.stats.crashes += 1
-        self.stats.dead_cores.append(core)
         machine.record_trace(time, f"crash core {core}")
 
         # Charged-but-unfinished work on the dead core is lost.
@@ -114,12 +141,83 @@ class RecoveryEngine:
         machine.busy_until[core] = min(machine.busy_until[core], time)
         self.stats.downtime_cycles += lost
 
+        # Unschedule the in-flight commit so a completion event arriving
+        # between halt and detection cannot publish a dead core's effects.
+        commit_id = machine._inflight.pop(core, None)
+        if commit_id is not None:
+            return machine._commits.pop(commit_id, None)
+        return None
+
+    def recover_core(
+        self, core: int, time: int, commit, detection_latency: Optional[int] = None
+    ) -> None:
+        """Repairs the machine after ``core``'s death is known: rollback,
+        lock reclaim, layout rebuild, and work migration.
+
+        In oracle mode this runs in the same event as :meth:`halt_core`; in
+        detection mode it runs when the failure detector's missed-beat
+        threshold fires, ``detection_latency`` cycles after the halt.
+        """
+        machine = self.machine
+        machine.dead_cores.add(core)
+        self.stats.dead_cores.append(core)
+        if detection_latency is not None:
+            self.stats.detections += 1
+            self.stats.detection_latency_cycles += detection_latency
+            machine.record_trace(
+                time, f"detect core {core} dead (latency {detection_latency})"
+            )
+        self._reclaim_and_migrate(core, time, commit)
+
+    def evict_live_core(self, core: int, time: int) -> None:
+        """False-positive path: the detector suspected a core that is
+        merely stalled. The machine cannot tell the difference, so the core
+        is treated as dead — in-flight invocation rolled back, locks
+        reclaimed, work migrated, layout rebuilt without it. If (when) its
+        heartbeat resumes, :meth:`rejoin_core` brings it back; exactly-once
+        holds because its commit was unscheduled here.
+        """
+        machine = self.machine
+        machine.suspected_cores.add(core)
+        machine.dead_cores.add(core)
+        machine.death_cycles.setdefault(core, time)
+        machine.record_trace(time, f"evict core {core} (suspected)")
+
+        lost = max(0, machine.busy_until[core] - time)
+        machine.busy_until[core] = min(machine.busy_until[core], time)
+        self.stats.downtime_cycles += lost
+
+        commit = None
+        commit_id = machine._inflight.pop(core, None)
+        if commit_id is not None:
+            commit = machine._commits.pop(commit_id, None)
+        self._reclaim_and_migrate(core, time, commit)
+
+    def rejoin_core(self, core: int, time: int) -> None:
+        """A suspected-then-recovered core produced a heartbeat: it rejoins
+        the machine as a live (but empty) core. Its migrated work stays
+        where it went — the rolled-back commit was never published, so
+        nothing can double-commit.
+        """
+        machine = self.machine
+        machine.suspected_cores.discard(core)
+        machine.dead_cores.discard(core)
+        machine.death_cycles.pop(core, None)
+        # The rejoined core is live but delisted from the degraded layout:
+        # pre-eviction mail still in flight to it must re-route on arrival.
+        machine._stale_routing = True
+        self.stats.false_suspicions += 1
+        self.stats.rejoins += 1
+        machine.record_trace(time, f"rejoin core {core}")
+
+    def _reclaim_and_migrate(self, core: int, time: int, commit) -> None:
+        """The shared tail of crash recovery and live-core eviction."""
+        machine = self.machine
+
         # Roll back the in-flight invocation, if any; its parameter objects
         # re-route below alongside the pending queue.
         replay: List[Tuple[str, int, BObject]] = []
-        commit_id = machine._inflight.pop(core, None)
-        if commit_id is not None and commit_id in machine._commits:
-            commit = machine._commits.pop(commit_id)
+        if commit is not None:
             if commit.snapshot is not None:
                 restore_snapshot(commit.snapshot)
             invocation = commit.invocation
@@ -185,12 +283,17 @@ class RecoveryEngine:
 
     def _stall(self, core: int, duration: int, time: int) -> None:
         machine = self.machine
-        if core in machine.dead_cores or core not in machine.busy_until:
+        if core in machine.halted_cores or core not in machine.busy_until:
             return
+        if core in machine.dead_cores and core not in machine.suspected_cores:
+            return  # recovered-dead cores cannot stall; evicted live ones can
         self.stats.stalls += 1
         self.stats.stall_cycles += duration
         resume = max(machine.busy_until[core], time) + duration
         machine.busy_until[core] = resume
+        # A frozen core cannot emit heartbeats; the failure detector reads
+        # this map to suppress beats (and may falsely suspect the core).
+        machine.stall_until[core] = max(machine.stall_until.get(core, 0), resume)
         machine.record_trace(time, f"stall core {core} until {resume}")
         # Work arriving during the stall re-kicks itself (deferred to
         # busy_until); an explicit wake-up is needed only for work the

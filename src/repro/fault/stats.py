@@ -57,12 +57,44 @@ class RecoveryStats:
     #: cores that died during the run
     dead_cores: List[int] = field(default_factory=list)
 
+    # -- detection-driven resilience (repro.resilience) ----------------------
+    #: heartbeat events emitted by live cores
+    heartbeats: int = 0
+    #: cores the failure detector suspected (missed-beat threshold crossed);
+    #: includes both true detections and false positives
+    suspicions: int = 0
+    #: suspected cores that were truly dead (detection-driven recovery fired)
+    detections: int = 0
+    #: cycles between a core's silent halt and its detection, summed over
+    #: all detections
+    detection_latency_cycles: int = 0
+    #: suspected cores that turned out alive (long transient stall); counted
+    #: when the core's heartbeat resumed and it rejoined
+    false_suspicions: int = 0
+    #: suspected-then-recovered cores that rejoined the machine
+    rejoins: int = 0
+    #: invocations preempted by the watchdog for overrunning their deadline
+    watchdog_preemptions: int = 0
+    #: preempted invocations re-enqueued with backoff (retry budget left)
+    retries: int = 0
+    #: total deterministic backoff cycles charged to retries
+    backoff_cycles: int = 0
+    #: (task, object-group) pairs moved to the dead-letter queue after
+    #: exhausting their retry budget
+    quarantined_groups: int = 0
+
     def exactly_once(self) -> bool:
         """True when no commit applied more than once."""
         return self.duplicate_commits == 0
 
+    def mean_detection_latency(self) -> float:
+        """Average halt-to-detection latency in cycles (0 if none)."""
+        if not self.detections:
+            return 0.0
+        return self.detection_latency_cycles / self.detections
+
     def describe(self) -> str:
-        return (
+        text = (
             f"recovery: {self.crashes} crash(es) on cores {self.dead_cores}, "
             f"{self.tasks_replayed} task(s) replayed, "
             f"{self.invocations_requeued} invocation(s) requeued, "
@@ -72,3 +104,20 @@ class RecoveryStats:
             f"{self.commits_applied} commit(s) applied / "
             f"{self.commits_dropped} dropped"
         )
+        if self.suspicions or self.heartbeats:
+            text += (
+                f"; resilience: {self.heartbeats} heartbeat(s), "
+                f"{self.suspicions} suspicion(s) "
+                f"({self.detections} detected dead, "
+                f"{self.false_suspicions} false), "
+                f"mean detection latency "
+                f"{self.mean_detection_latency():,.0f} cycles, "
+                f"{self.rejoins} rejoin(s)"
+            )
+        if self.watchdog_preemptions or self.quarantined_groups:
+            text += (
+                f"; watchdog: {self.watchdog_preemptions} preemption(s), "
+                f"{self.retries} retr(ies), "
+                f"{self.quarantined_groups} group(s) quarantined"
+            )
+        return text

@@ -150,3 +150,6 @@ RUNTIME_INIT_COST = 400
 #: Extra cycles per array access when the optional bounds-check mode is on
 #: (paper §5.5: checks are optional and were disabled for the C comparison).
 BOUNDS_CHECK_COST = 2
+#: Emitting one liveness heartbeat (repro.resilience); charged to the
+#: emitting core only when detection-driven resilience is enabled.
+HEARTBEAT_COST = 4

@@ -1,0 +1,149 @@
+"""Watchdog deadlines, retry with exponential backoff, and quarantine.
+
+Every dispatched invocation gets a deadline derived from the task's
+profile cost estimate times ``ResilienceConfig.deadline_multiplier``
+(scaled by the executing core's speed, so heterogeneous slow cores are not
+penalized for being slow by design). An invocation still in flight when
+its deadline fires is *preempted*: the dispatch-time snapshot rolls its
+eager field writes back, its locks are reclaimed, and its parameter
+objects re-enter the routing fabric after a deterministic exponential
+backoff — the Bamboo guarantee that tasks never abort *mid-protocol* is
+preserved because preemption reuses exactly the crash-rollback transaction
+(nothing was published before the commit).
+
+A per-(task, object-group) retry budget bounds the damage a poison input
+can do: after ``max_retries`` preemptions the group moves to the
+dead-letter queue (``MachineResult.quarantined``), its objects are barred
+from every scheduler, and the run degrades gracefully instead of
+livelocking on work that can never finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..schedule.layout import core_speed, scale_duration
+from .config import ResilienceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fault.stats import RecoveryStats
+    from ..runtime.machine import ManyCoreMachine
+    from ..runtime.scheduler import Invocation
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One dead-lettered (task, object-group): the poison ledger entry."""
+
+    task: str
+    object_ids: Tuple[int, ...]
+    attempts: int
+    cycle: int
+
+
+class TaskWatchdog:
+    """Arms per-invocation deadlines and applies the retry policy."""
+
+    def __init__(
+        self,
+        machine: "ManyCoreMachine",
+        config: ResilienceConfig,
+        stats: "RecoveryStats",
+    ):
+        self.machine = machine
+        self.config = config
+        self.stats = stats
+        #: watchdog preemptions so far per (task, sorted object ids)
+        self._attempts: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(
+        self, core: int, commit_id: int, task: str, start: int, completion: int
+    ) -> None:
+        """Schedules a deadline check for one dispatched invocation.
+
+        The event is pushed only when it would fire strictly before the
+        completion — an on-time task never meets its watchdog.
+        """
+        deadline = self.config.deadline_for(task)
+        if deadline is None:
+            return
+        scaled = scale_duration(
+            deadline, core_speed(self.machine.config.core_speeds, core)
+        )
+        fire_at = start + scaled
+        if fire_at < completion:
+            self.machine._push(fire_at, "watchdog", (core, commit_id))
+
+    # -- preemption -----------------------------------------------------------
+
+    def on_deadline(self, core: int, commit_id: int, time: int) -> None:
+        """The deadline fired: preempt if the invocation is still in flight."""
+        machine = self.machine
+        if machine._inflight.get(core) != commit_id:
+            return  # completed, or the core crashed and recovery took over
+        commit = machine._commits.pop(commit_id, None)
+        if commit is None:  # pragma: no cover - defensive
+            return
+        machine._inflight.pop(core, None)
+        invocation = commit.invocation
+        self.stats.watchdog_preemptions += 1
+        machine.record_trace(
+            time, f"watchdog preempt core {core} {invocation.task}"
+        )
+
+        # The invocation becomes a no-op transaction: eager field writes
+        # roll back, locks release, the completion event will find nothing.
+        if commit.snapshot is not None:
+            from ..fault.recovery import restore_snapshot
+
+            restore_snapshot(commit.snapshot)
+        machine.locks.unlock_all(invocation.objects, core)
+        machine.busy_until[core] = time  # the overrun cycles are written off
+
+        self._retry_or_quarantine(core, invocation, time)
+        machine._kick(core, time)
+
+    def _retry_or_quarantine(
+        self, core: int, invocation: "Invocation", time: int
+    ) -> None:
+        key = (
+            invocation.task,
+            tuple(sorted(obj.obj_id for obj in invocation.objects)),
+        )
+        attempts = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempts
+        if attempts > self.config.max_retries:
+            self._quarantine(key[0], key[1], attempts, time)
+            return
+        backoff = self.config.backoff_for(attempts)
+        self.stats.retries += 1
+        self.stats.backoff_cycles += backoff
+        for obj in invocation.objects:
+            self.machine._route_concrete(
+                obj, sender_core=core, time=time + backoff
+            )
+
+    def _quarantine(
+        self, task: str, object_ids: Tuple[int, ...], attempts: int, time: int
+    ) -> None:
+        """Moves a poison group to the dead-letter queue for good."""
+        machine = self.machine
+        self.stats.quarantined_groups += 1
+        machine.record_trace(time, f"quarantine {task} objects {list(object_ids)}")
+        record = QuarantineRecord(
+            task=task, object_ids=object_ids, attempts=attempts, cycle=time
+        )
+        machine.quarantined.append(record)
+        machine.poisoned_ids.update(object_ids)
+        # Bar stray copies everywhere: purge parameter-set entries and drop
+        # ready invocations touching the poison; their healthy co-parameter
+        # objects re-route normally.
+        for sched_core, scheduler in machine.schedulers.items():
+            if sched_core in machine.dead_cores:
+                continue
+            _, displaced = scheduler.purge_poisoned(machine.poisoned_ids)
+            for obj in displaced:
+                machine._route_concrete(obj, sender_core=sched_core, time=time)

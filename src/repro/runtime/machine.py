@@ -45,6 +45,15 @@ from .scheduler import CoreScheduler, Invocation, LockManager
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fault.plan import FaultPlan
     from ..fault.stats import RecoveryStats
+    from ..resilience.config import ResilienceConfig
+    from ..resilience.watchdog import QuarantineRecord
+
+#: Event kinds that are bookkeeping rather than machine activity: they
+#: never extend the run's total cycle count.
+_SILENT_KINDS = frozenset({"fault", "hb", "monitor", "watchdog"})
+#: Event kinds that represent outstanding real work; the resilience
+#: machinery keeps its heartbeat/monitor loop armed while any remain.
+_REAL_KINDS = frozenset({"arrive", "kick", "complete", "fault"})
 
 
 @dataclass
@@ -60,6 +69,11 @@ class MachineConfig:
     #: injected faults (:mod:`repro.fault`); None means no fault machinery
     #: is installed and the run is bit-identical to one without this field
     fault_plan: Optional["FaultPlan"] = None
+    #: detection-driven resilience (:mod:`repro.resilience`): heartbeats,
+    #: missed-beat failure detection, watchdog deadlines, retry/backoff,
+    #: and poison quarantine; None (or ``enabled=False``) installs nothing
+    #: and the run is bit-identical to one without this field
+    resilience: Optional["ResilienceConfig"] = None
     #: assert the termination invariant (no locks held, no queued
     #: invocations on live cores) at end of run
     validate: bool = False
@@ -86,17 +100,34 @@ class MachineResult:
     lock_failures: int
     stdout: str
     profile: Optional[ProfileData] = None
-    #: fault-handling telemetry; present iff a fault plan was installed
+    #: fault-handling telemetry; present iff a fault plan or resilience
+    #: config was installed
     recovery: Optional["RecoveryStats"] = None
     #: event trace (only with ``MachineConfig.record_trace``)
     trace: Optional[List[str]] = None
+    #: dead-letter queue of poison (task, object-group) pairs; present iff
+    #: resilience was enabled
+    quarantined: Optional[List["QuarantineRecord"]] = None
+    #: cycle at which each crashed core died (empty on fault-free runs);
+    #: used to keep utilization honest about dead cores
+    core_death_cycles: Optional[Dict[int, int]] = None
 
     def busy_fraction(self) -> float:
+        """Mean core utilization over each core's *live* window.
+
+        A crashed core stops accruing busy cycles at its death, so its
+        post-crash cycles must not dilute the denominator: each core
+        contributes only the cycles it was alive for.
+        """
         if not self.core_busy or self.total_cycles == 0:
             return 0.0
-        return sum(self.core_busy.values()) / (
-            len(self.core_busy) * self.total_cycles
-        )
+        deaths = self.core_death_cycles or {}
+        live_window = 0
+        for core in self.core_busy:
+            live_window += min(deaths.get(core, self.total_cycles), self.total_cycles)
+        if live_window == 0:
+            return 0.0
+        return sum(self.core_busy.values()) / live_window
 
 
 @dataclass
@@ -160,15 +191,41 @@ class ManyCoreMachine:
         self._commits: Dict[int, _Commit] = {}
         self._commit_id = 0
 
-        # Fault machinery — installed only when a plan is present, so a
-        # plan-free run takes exactly the code paths it always did.
+        # Fault machinery — installed only when a plan or a resilience
+        # config is present, so a plain run takes exactly the code paths it
+        # always did.
         self.dead_cores: Set[int] = set()
+        #: silently crashed cores (halted but not yet discovered by the
+        #: failure detector); in oracle mode halt and detection coincide
+        self.halted_cores: Set[int] = set()
+        #: live cores the detector evicted on a false suspicion; they
+        #: rejoin when their heartbeat resumes
+        self.suspected_cores: Set[int] = set()
+        #: cycle at which each core died (or was evicted); rejoins erase
+        self.death_cycles: Dict[int, int] = {}
+        #: per-core stall horizon (a frozen core cannot emit heartbeats)
+        self.stall_until: Dict[int, int] = {}
+        #: dead-lettered object ids (shared with every scheduler)
+        self.poisoned_ids: Set[int] = set()
+        self.quarantined: List = []
+        #: set at the first rejoin: a rejoined core is live but delisted
+        #: from the (degraded) layout, so pre-eviction mail still in flight
+        #: to it must be re-routed on arrival
+        self._stale_routing = False
         self._inflight: Dict[int, int] = {}  # core -> pending commit id
         self._link_multiplier = 1.0
+        self._real_events = 0
         self.recovery: Optional["RecoveryStats"] = None
         self._fault_engine = None
         self._injector = None
-        if self.config.fault_plan is not None and self.config.fault_plan.events:
+        self._detector = None
+        self._watchdog = None
+        resilience = self.config.resilience
+        self._resilience_on = resilience is not None and resilience.enabled
+        has_faults = bool(
+            self.config.fault_plan is not None and self.config.fault_plan.events
+        )
+        if has_faults or self._resilience_on:
             from ..fault.injector import FaultInjector
             from ..fault.plan import FaultError
             from ..fault.recovery import RecoveryEngine
@@ -181,7 +238,19 @@ class ManyCoreMachine:
                 )
             self.recovery = RecoveryStats()
             self._fault_engine = RecoveryEngine(self, self.recovery)
-            self._injector = FaultInjector(self, self.config.fault_plan)
+            if has_faults:
+                self._injector = FaultInjector(self, self.config.fault_plan)
+        if self._resilience_on:
+            from ..resilience.detector import FailureDetector
+            from ..resilience.watchdog import TaskWatchdog
+
+            resilience.validate()
+            self._detector = FailureDetector(
+                self, resilience, self._fault_engine, self.recovery
+            )
+            self._watchdog = TaskWatchdog(self, resilience, self.recovery)
+            for scheduler in self.schedulers.values():
+                scheduler.poisoned = self.poisoned_ids
         self.trace: Optional[List[str]] = [] if self.config.record_trace else None
 
         # statistics
@@ -197,6 +266,10 @@ class ManyCoreMachine:
 
     def _push(self, time: int, kind: str, payload: tuple) -> None:
         self._seq += 1
+        if kind in _REAL_KINDS:
+            # Heartbeat/monitor/watchdog events re-arm themselves only while
+            # real work remains; this counter is how they know.
+            self._real_events += 1
         heapq.heappush(self._events, (time, self._seq, kind, payload))
 
     def record_trace(self, time: int, line: str) -> None:
@@ -211,15 +284,20 @@ class ManyCoreMachine:
         self._route_concrete(startup, sender_core=None, time=start_time)
         if self._injector is not None:
             self._injector.install()
+        if self._detector is not None:
+            self._detector.install(start_time)
 
         events_processed = 0
         last_time = start_time
         total_invocations = 0
         while self._events:
             time, _, kind, payload = heapq.heappop(self._events)
-            if kind != "fault":
-                # A fault event alone is not machine activity: a crash or
-                # stall scheduled after quiescence must not extend the run.
+            if kind in _REAL_KINDS:
+                self._real_events -= 1
+            if kind not in _SILENT_KINDS:
+                # Bookkeeping events (faults, heartbeats, watchdogs) alone
+                # are not machine activity: a crash or heartbeat scheduled
+                # after quiescence must not extend the run.
                 last_time = max(last_time, time)
             events_processed += 1
             if events_processed > self.config.max_events:
@@ -233,8 +311,21 @@ class ManyCoreMachine:
                         core, task, param_index, obj, time
                     )
                     continue
+                if self._stale_routing and core not in self.layout.cores_of(task):
+                    # The core rejoined after a false suspicion, but the
+                    # degraded layout no longer lists it for this task;
+                    # delivering here would strand the object (its
+                    # co-parameters now live on the adopting core).
+                    self._fault_engine.redirect_arrival(
+                        core, task, param_index, obj, time
+                    )
+                    continue
                 scheduler = self.schedulers[core]
                 scheduler.enqueue_object(task, param_index, obj, time)
+                if core in self.halted_cores:
+                    # A silently-dead core still receives mail (the sender
+                    # cannot know); it piles up until detection migrates it.
+                    continue
                 if scheduler.has_work():
                     self._kick(core, time)
             elif kind == "kick":
@@ -248,7 +339,18 @@ class ManyCoreMachine:
                 self._complete(core, commit_id, time)
             elif kind == "fault":
                 (event,) = payload
-                self._fault_engine.apply(event, time)
+                if self._detector is not None:
+                    self._detector.on_fault(event, time)
+                else:
+                    self._fault_engine.apply(event, time)
+            elif kind == "hb":
+                (core,) = payload
+                self._detector.on_heartbeat(core, time)
+            elif kind == "monitor":
+                self._detector.on_monitor(time)
+            elif kind == "watchdog":
+                core, commit_id = payload
+                self._watchdog.on_deadline(core, commit_id, time)
             else:  # pragma: no cover - exhaustive
                 raise ScheduleError(f"unknown event kind {kind}")
 
@@ -280,6 +382,8 @@ class ManyCoreMachine:
             profile=self.profile,
             recovery=self.recovery,
             trace=self.trace,
+            quarantined=list(self.quarantined) if self._resilience_on else None,
+            core_death_cycles=dict(self.death_cycles) or None,
         )
 
     def _assert_quiescent(self) -> None:
@@ -292,7 +396,7 @@ class ManyCoreMachine:
                 f"still held at end of run: {held}"
             )
         for core, scheduler in self.schedulers.items():
-            if core in self.dead_cores:
+            if core in self.dead_cores or core in self.halted_cores:
                 continue
             if scheduler.has_work():
                 raise ScheduleError(
@@ -307,8 +411,8 @@ class ManyCoreMachine:
         self._push(ready_at, "kick", (core,))
 
     def _dispatch(self, core: int, time: int) -> None:
-        if core in self.dead_cores:
-            return  # crashed; its work has migrated to survivors
+        if core in self.dead_cores or core in self.halted_cores:
+            return  # crashed (or silently halted); survivors take the work
         if self.busy_until[core] > time:
             return  # busy; the completion handler re-kicks
         scheduler = self.schedulers[core]
@@ -381,6 +485,8 @@ class ManyCoreMachine:
             self._inflight[core] = self._commit_id
         self.busy_until[core] = completion
         self._push(completion, "complete", (core, self._commit_id))
+        if self._watchdog is not None:
+            self._watchdog.arm(core, self._commit_id, invocation.task, start, completion)
 
         if self.profile is not None:
             allocs: Dict[int, int] = {}

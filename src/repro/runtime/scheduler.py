@@ -111,7 +111,13 @@ class LockManager:
 class CoreScheduler:
     """The scheduler state of a single core."""
 
-    def __init__(self, core: int, info: ProgramInfo, tasks: Sequence[str]):
+    def __init__(
+        self,
+        core: int,
+        info: ProgramInfo,
+        tasks: Sequence[str],
+        poisoned: Optional[Set[int]] = None,
+    ):
         self.core = core
         self.info = info
         self.task_names: List[str] = list(tasks)
@@ -119,6 +125,10 @@ class CoreScheduler:
         self.param_sets: Dict[Tuple[str, int], Deque[BObject]] = {}
         self.ready: Deque[Invocation] = deque()
         self._seq = 0
+        #: shared dead-letter set (object ids quarantined by the resilience
+        #: watchdog); None when resilience is off — the enqueue filter then
+        #: costs nothing
+        self.poisoned = poisoned
         for task in self.task_names:
             task_info = info.task_info(task)
             for param_index in range(len(task_info.decl.params)):
@@ -153,6 +163,33 @@ class CoreScheduler:
         self.ready.clear()
         return pending, ready
 
+    def purge_poisoned(self, poisoned: Set[int]) -> Tuple[int, List[BObject]]:
+        """Removes quarantined objects already resident in this scheduler.
+
+        Returns ``(removed, displaced)``: ``removed`` counts the purged
+        parameter-set entries and dropped ready invocations; ``displaced``
+        holds the *healthy* objects of dropped invocations, which the
+        caller must re-route (they were not quarantined themselves).
+        """
+        removed = 0
+        for bucket in self.param_sets.values():
+            doomed = [obj for obj in bucket if obj.obj_id in poisoned]
+            for obj in doomed:
+                bucket.remove(obj)
+            removed += len(doomed)
+        displaced: List[BObject] = []
+        survivors: Deque[Invocation] = deque()
+        for invocation in self.ready:
+            if any(obj.obj_id in poisoned for obj in invocation.objects):
+                removed += 1
+                displaced.extend(
+                    obj for obj in invocation.objects if obj.obj_id not in poisoned
+                )
+            else:
+                survivors.append(invocation)
+        self.ready = survivors
+        return removed, displaced
+
     # -- arrival & invocation formation ------------------------------------------
 
     def enqueue_object(
@@ -160,6 +197,8 @@ class CoreScheduler:
     ) -> List[Invocation]:
         """Inserts an object into a parameter set and forms any invocations
         the new object makes possible."""
+        if self.poisoned and obj.obj_id in self.poisoned:
+            return []  # dead-lettered: quarantined objects never re-enter
         bucket = self.param_sets[(task, param_index)]
         if any(existing is obj for existing in bucket):
             return []

@@ -486,3 +486,122 @@ class TestCli:
             os.unlink(path)
         assert code == 1
         assert "bad fault spec" in capsys.readouterr().err
+
+
+class TestFaultEdgeCases:
+    """PR-1 machinery corners the original suite left uncovered."""
+
+    def test_stall_spanning_dispatch_commit_boundary(self, keyword_compiled):
+        # MIDRUN_CYCLE lands while core 1 is mid-invocation (asserted by
+        # test_crash_rolls_back_inflight_and_completes), so this stall
+        # begins after dispatch and ends after the scheduled completion:
+        # the commit must still publish exactly once, on time, and the
+        # stall may only push back *future* dispatches.
+        layout = quad_layout(keyword_compiled)
+        base = run_layout(keyword_compiled, layout, ["12"])
+        plan = FaultPlan.make(
+            [TransientStall(core=1, cycle=MIDRUN_CYCLE, duration=3_000)]
+        )
+        config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
+        first = run_layout(keyword_compiled, layout, ["12"], config=config)
+        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        assert first.stdout == base.stdout
+        assert first.invocations == base.invocations
+        assert first.recovery.stalls == 1
+        assert first.recovery.exactly_once()
+        assert first.total_cycles >= base.total_cycles
+        # The in-flight invocation still committed (no rollback on stall).
+        assert first.recovery.commits_dropped == 0
+        # Deterministic across runs, boundary included.
+        assert first.trace == second.trace
+        assert first.total_cycles == second.total_cycles
+
+    def test_link_restore_before_first_message_is_bit_identical(
+        self, keyword_compiled
+    ):
+        # Degrade-then-restore entirely inside the runtime-init window
+        # (before any inter-core message is priced): the run must be
+        # bit-identical to fault-free, not merely close.
+        from repro.ir import costs
+
+        assert costs.RUNTIME_INIT_COST > 2  # the premise of this test
+        layout = quad_layout(keyword_compiled)
+        base = run_layout(
+            keyword_compiled, layout, ["12"],
+            config=MachineConfig(record_trace=True),
+        )
+        plan = FaultPlan.make(
+            [
+                LinkDegrade(cycle=1, multiplier=9.0),
+                LinkDegrade(cycle=2, multiplier=1.0),
+            ]
+        )
+        result = run_layout(
+            keyword_compiled, layout, ["12"],
+            config=MachineConfig(fault_plan=plan, validate=True, record_trace=True),
+        )
+        assert result.recovery.link_events == 2
+        assert result.total_cycles == base.total_cycles
+        assert result.messages == base.messages
+        assert result.core_busy == base.core_busy
+        assert result.stdout == base.stdout
+        assert result.trace == base.trace
+
+    def test_link_restore_mid_run_recovers_speed(self, keyword_compiled):
+        # Restore to exactly 1.0 mid-run: the remaining messages are priced
+        # at nominal cost, so the run beats the never-restored one but
+        # cannot beat fault-free.
+        mapping = {t: [0] for t in keyword_compiled.info.tasks}
+        mapping["processText"] = [15]
+        layout = Layout.make(16, mapping, mesh_width=16)
+        base = run_layout(keyword_compiled, layout, ["4"])
+        degraded_forever = run_layout(
+            keyword_compiled, layout, ["4"],
+            config=MachineConfig(
+                fault_plan=FaultPlan.make([LinkDegrade(cycle=0, multiplier=40.0)])
+            ),
+        )
+        restored = run_layout(
+            keyword_compiled, layout, ["4"],
+            config=MachineConfig(
+                fault_plan=FaultPlan.make(
+                    [
+                        LinkDegrade(cycle=0, multiplier=40.0),
+                        LinkDegrade(cycle=3_000, multiplier=1.0),
+                    ]
+                ),
+                validate=True,
+            ),
+        )
+        assert base.total_cycles <= restored.total_cycles < degraded_forever.total_cycles
+        assert restored.stdout == base.stdout
+        assert restored.recovery.link_events == 2
+
+    def test_two_crashes_same_cycle(self, keyword_compiled):
+        # Same-cycle crashes resolve in deterministic core order; both
+        # cores' work migrates to the two survivors and every logical task
+        # still commits exactly once.
+        layout = quad_layout(keyword_compiled)
+        base = run_layout(keyword_compiled, layout, ["12"])
+        plan = FaultPlan.make(
+            [
+                CoreCrash(core=2, cycle=MIDRUN_CYCLE),
+                CoreCrash(core=1, cycle=MIDRUN_CYCLE),
+            ]
+        )
+        # The plan layer orders the tie by core number.
+        assert plan.crash_cores() == [1, 2]
+        config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
+        first = run_layout(keyword_compiled, layout, ["12"], config=config)
+        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        rec = first.recovery
+        assert rec.crashes == 2
+        assert rec.dead_cores == [1, 2]
+        assert first.core_death_cycles == {1: MIDRUN_CYCLE, 2: MIDRUN_CYCLE}
+        assert first.stdout == base.stdout == "total=24"
+        assert first.invocations == base.invocations
+        assert rec.exactly_once()
+        assert first.trace == second.trace
+        # Dead cores stop accruing busy cycles at the crash.
+        assert first.core_busy[1] <= MIDRUN_CYCLE
+        assert first.core_busy[2] <= MIDRUN_CYCLE
