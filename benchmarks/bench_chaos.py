@@ -16,6 +16,7 @@ from conftest import emit
 from repro.core import run_layout
 from repro.resilience import ResilienceConfig, run_chaos
 from repro.viz import render_table
+from telemetry import write_telemetry
 
 CHAOS_BENCHMARKS = ["Keyword", "MonteCarlo", "Series"]
 RUNS_PER_BENCHMARK = 8
@@ -90,6 +91,7 @@ def test_chaos(benchmark, ctx):
         table,
         artifact="chaos.txt",
     )
+    write_telemetry("chaos", {"rows": rows})
     for row in rows:
         assert row["ok"], row["violations"]
         # Every sweep injected real faults and every true death was found.

@@ -19,6 +19,7 @@ The DSA optimization times of §5.1 are reported alongside.
 from conftest import emit
 from repro.bench import PAPER_BENCHMARKS
 from repro.viz import render_table
+from telemetry import write_telemetry
 
 #: The paper's 62-core speedups vs 1-core Bamboo, for the report.
 PAPER_SPEEDUPS = {
@@ -50,6 +51,8 @@ def run_all(ctx):
                 "overhead": (one.total_cycles - seq.cycles) / seq.cycles,
                 "dsa_seconds": report.wall_seconds,
                 "dsa_evals": report.evaluations,
+                "busy_fraction": many.busy_fraction(),
+                "metrics": many.metrics,
             }
         )
     return rows
@@ -86,6 +89,7 @@ def test_fig7_speedups(benchmark, ctx):
         ],
     )
     emit("Figure 7: speedups on 62 cores", table, artifact="fig7_speedup.txt")
+    write_telemetry("fig7_speedup", {"rows": rows})
 
     by_name = {r["name"]: r for r in rows}
 

@@ -8,7 +8,9 @@ its curve early (the §4.6/§5 discussion of merge bottlenecks)."""
 
 from conftest import emit
 from repro.core import run_layout
+from repro.runtime.machine import MachineConfig
 from repro.viz import render_table
+from telemetry import write_telemetry
 
 CORE_COUNTS = [2, 4, 8, 16, 32, 62]
 BENCHES = ["Fractal", "KMeans"]
@@ -23,12 +25,16 @@ def run_all(ctx):
         series = []
         for cores in CORE_COUNTS:
             layout = ctx.synthesis_report(name, num_cores=cores).layout
-            result = run_layout(compiled, layout, args)
+            result = run_layout(
+                compiled, layout, args, config=MachineConfig(observe=True)
+            )
             series.append(
                 {
                     "cores": cores,
                     "cycles": result.total_cycles,
                     "speedup": one / result.total_cycles,
+                    "busy_fraction": result.busy_fraction(),
+                    "accounting": result.metrics["accounting"]["totals"],
                 }
             )
         rows[name] = {"one": one, "series": series}
@@ -51,6 +57,7 @@ def test_scaling_curves(benchmark, ctx):
         table,
         artifact="scaling.txt",
     )
+    write_telemetry("scaling", {"curves": rows})
 
     for name in BENCHES:
         series = rows[name]["series"]

@@ -22,6 +22,7 @@ from repro.core import (
     single_core_layout,
     synthesize_layout,
 )
+from repro.runtime.machine import MachineConfig
 from repro.schedule.anneal import AnnealConfig
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -105,8 +106,13 @@ class ExperimentContext:
         key = (name, tuple(self.args(name, double)), num_cores)
         if key not in self._many:
             report = self.synthesis_report(name, double, num_cores)
+            # Observed, so every many-core measurement carries its metrics
+            # snapshot (utilization, queue depths, cycle accounting) for
+            # the telemetry JSON artifacts. Observation never changes the
+            # simulated cycle counts (bit-identity is test-enforced).
             self._many[key] = run_layout(
-                self.compiled(name), report.layout, self.args(name, double)
+                self.compiled(name), report.layout, self.args(name, double),
+                config=MachineConfig(observe=True),
             )
         return self._many[key]
 

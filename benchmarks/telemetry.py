@@ -1,0 +1,54 @@
+"""Structured telemetry for benchmark runs.
+
+Every ``bench_*`` report already prints a human-readable table and saves
+it under ``benchmarks/out/``; this module adds a machine-readable twin:
+one JSON document per experiment (``benchmarks/out/<name>.json``) with
+the run's headline numbers (makespan, speedups) and — when the run was
+observed (``MachineConfig.observe``) — the full :mod:`repro.obs` metrics
+snapshot (utilization, queue depths, latency histograms, and the
+machine-checked cycle accounting).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from conftest import OUT_DIR
+
+SCHEMA = "repro.bench/telemetry-v1"
+
+
+def telemetry_payload(result) -> Dict[str, object]:
+    """The JSON-ready summary of one :class:`MachineResult`."""
+    payload: Dict[str, object] = {
+        "makespan": result.total_cycles,
+        "messages": result.messages,
+        "invocations": sum(result.invocations.values()),
+        "lock_failures": result.lock_failures,
+        "busy_fraction": result.busy_fraction(),
+    }
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics
+    return payload
+
+
+def write_telemetry(name: str, payload: Dict[str, object]) -> str:
+    """Writes one experiment's telemetry document; returns its path."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.json")
+    doc = {"schema": SCHEMA, "experiment": name, **payload}
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def read_telemetry(name: str) -> Optional[Dict[str, object]]:
+    """Loads a previously written telemetry document, if present."""
+    path = os.path.join(OUT_DIR, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)

@@ -13,7 +13,10 @@ Commands
     (heartbeats, watchdog deadlines, retry/quarantine); ``--chaos N``
     instead sweeps N seeded fault plans and exits nonzero if any
     resilience invariant (termination, exactly-once commit, quarantine
-    accounting, baseline equivalence) is violated.
+    accounting, baseline equivalence) is violated. ``--trace-out FILE``
+    writes a Chrome trace-event timeline (Perfetto-loadable) and
+    ``--metrics-out FILE`` the run's metrics snapshot; either implies
+    observation (``MachineConfig.observe``).
 ``cstg FILE [ARGS...] [--dot]``
     Print the profile-annotated CSTG (optionally as Graphviz DOT).
 ``bench NAME [--cores N]``
@@ -99,11 +102,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             deadline_multiplier=args.deadline_mult,
             profile=profile if args.deadline_mult is not None else None,
         )
+    observe = bool(args.trace_out or args.metrics_out)
     config: Optional[MachineConfig] = None
-    if args.inject_fault or args.validate or resilience is not None:
+    if args.inject_fault or args.validate or resilience is not None or observe:
         fault_plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
         config = MachineConfig(
-            fault_plan=fault_plan, resilience=resilience, validate=args.validate
+            fault_plan=fault_plan,
+            resilience=resilience,
+            validate=args.validate,
+            observe=observe,
         )
         if args.verbose and fault_plan is not None:
             print(fault_plan.describe(), file=sys.stderr)
@@ -146,6 +153,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if result.recovery is not None:
         print(f"[{result.recovery.describe()}]", file=sys.stderr)
+    if observe and result.events is not None:
+        from .obs import write_chrome_trace, write_metrics_snapshot
+
+        cores = sorted(result.core_busy)
+        if args.trace_out:
+            write_chrome_trace(
+                args.trace_out,
+                result.events,
+                cores,
+                makespan=result.total_cycles,
+            )
+            print(f"[trace: {args.trace_out}]", file=sys.stderr)
+        if args.metrics_out and result.metrics is not None:
+            write_metrics_snapshot(args.metrics_out, result.metrics)
+            print(f"[metrics: {args.metrics_out}]", file=sys.stderr)
+        if args.verbose:
+            from .viz import render_machine_timeline
+
+            print(
+                render_machine_timeline(result.events, result.total_cycles),
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -229,6 +258,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--deadline-mult", type=float, default=None, metavar="X",
         help="watchdog deadline = profiled task cost x X (with --resilience)",
+    )
+    p_run.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON timeline of the run "
+             "(load in Perfetto or chrome://tracing); implies observation",
+    )
+    p_run.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the run's metrics snapshot (utilization, queue depths, "
+             "latency histograms, cycle accounting) as JSON",
     )
     p_run.add_argument(
         "--chaos", type=int, default=0, metavar="N",

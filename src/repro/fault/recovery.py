@@ -28,6 +28,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..analysis.astate import state_of_object
+from ..obs.events import (
+    Crash,
+    Detect,
+    Evict,
+    LinkDegradeEvent,
+    MailSend,
+    Rejoin,
+    Stall,
+    Truncate,
+)
 from ..runtime.objects import BArray, BObject
 from ..schedule.layout import Router
 from ..schedule.mapping import with_core_failed
@@ -94,7 +104,7 @@ class RecoveryEngine:
         elif isinstance(event, TransientStall):
             self._stall(event.core, event.duration, time)
         elif isinstance(event, LinkDegrade):
-            self._degrade(event.multiplier)
+            self._degrade(event.multiplier, time)
         else:  # pragma: no cover - exhaustive
             raise FaultError(f"unknown fault event {event!r}")
 
@@ -129,17 +139,28 @@ class RecoveryEngine:
             machine.suspected_cores.discard(core)
             self.stats.crashes += 1
             self.stats.dead_cores.append(core)
-            machine.record_trace(time, f"crash core {core} (already evicted)")
+            # A suspected core can stall while evicted, bumping its busy
+            # horizon past its death cycle; those phantom cycles must be
+            # written off or they would outlive the (now permanent) death.
+            death = machine.death_cycles.get(core, time)
+            machine.busy_until[core] = min(machine.busy_until[core], death)
+            if machine.tracer is not None:
+                machine.tracer.emit(
+                    Crash(time=time, core=core, already_evicted=True)
+                )
+                machine.tracer.emit(Truncate(time=time, core=core, at=death))
             return None
         machine.halted_cores.add(core)
         machine.death_cycles.setdefault(core, time)
         self.stats.crashes += 1
-        machine.record_trace(time, f"crash core {core}")
 
         # Charged-but-unfinished work on the dead core is lost.
         lost = max(0, machine.busy_until[core] - time)
         machine.busy_until[core] = min(machine.busy_until[core], time)
         self.stats.downtime_cycles += lost
+        if machine.tracer is not None:
+            machine.tracer.emit(Crash(time=time, core=core))
+            machine.tracer.emit(Truncate(time=time, core=core, at=time))
 
         # Unschedule the in-flight commit so a completion event arriving
         # between halt and detection cannot publish a dead core's effects.
@@ -164,9 +185,10 @@ class RecoveryEngine:
         if detection_latency is not None:
             self.stats.detections += 1
             self.stats.detection_latency_cycles += detection_latency
-            machine.record_trace(
-                time, f"detect core {core} dead (latency {detection_latency})"
-            )
+            if machine.tracer is not None:
+                machine.tracer.emit(
+                    Detect(time=time, core=core, latency=detection_latency)
+                )
         self._reclaim_and_migrate(core, time, commit)
 
     def evict_live_core(self, core: int, time: int) -> None:
@@ -181,11 +203,13 @@ class RecoveryEngine:
         machine.suspected_cores.add(core)
         machine.dead_cores.add(core)
         machine.death_cycles.setdefault(core, time)
-        machine.record_trace(time, f"evict core {core} (suspected)")
 
         lost = max(0, machine.busy_until[core] - time)
         machine.busy_until[core] = min(machine.busy_until[core], time)
         self.stats.downtime_cycles += lost
+        if machine.tracer is not None:
+            machine.tracer.emit(Evict(time=time, core=core))
+            machine.tracer.emit(Truncate(time=time, core=core, at=time))
 
         commit = None
         commit_id = machine._inflight.pop(core, None)
@@ -208,7 +232,8 @@ class RecoveryEngine:
         machine._stale_routing = True
         self.stats.false_suspicions += 1
         self.stats.rejoins += 1
-        machine.record_trace(time, f"rejoin core {core}")
+        if machine.tracer is not None:
+            machine.tracer.emit(Rejoin(time=time, core=core))
 
     def _reclaim_and_migrate(self, core: int, time: int, commit) -> None:
         """The shared tail of crash recovery and live-core eviction."""
@@ -242,6 +267,8 @@ class RecoveryEngine:
 
         # Migrate everything the dead core was holding.
         pending, ready = machine.schedulers[core].drain()
+        if machine.tracer is not None:
+            machine.tracer.queue_sample(time, core, 0)
         self.stats.invocations_requeued += len(ready)
         migrations = list(replay)
         for invocation in ready:
@@ -269,6 +296,13 @@ class RecoveryEngine:
         )
         machine._push(time + latency, "arrive", (dest, task, param_index, obj))
         machine.messages += 1
+        if machine.tracer is not None:
+            machine.tracer.emit(
+                MailSend(
+                    time=time, core=dead_core, dest=dest,
+                    task=task, latency=latency,
+                )
+            )
         self.stats.objects_migrated += 1
         return latency
 
@@ -289,18 +323,24 @@ class RecoveryEngine:
             return  # recovered-dead cores cannot stall; evicted live ones can
         self.stats.stalls += 1
         self.stats.stall_cycles += duration
-        resume = max(machine.busy_until[core], time) + duration
+        begin = max(machine.busy_until[core], time)
+        resume = begin + duration
         machine.busy_until[core] = resume
         # A frozen core cannot emit heartbeats; the failure detector reads
         # this map to suppress beats (and may falsely suspect the core).
         machine.stall_until[core] = max(machine.stall_until.get(core, 0), resume)
-        machine.record_trace(time, f"stall core {core} until {resume}")
+        if machine.tracer is not None:
+            machine.tracer.emit(Stall(time=time, core=core, begin=begin, until=resume))
         # Work arriving during the stall re-kicks itself (deferred to
         # busy_until); an explicit wake-up is needed only for work the
         # core already had queued.
         if machine.schedulers[core].has_work():
             machine._kick(core, resume)
 
-    def _degrade(self, multiplier: float) -> None:
+    def _degrade(self, multiplier: float, time: int) -> None:
         self.stats.link_events += 1
         self.machine._link_multiplier = multiplier
+        if self.machine.tracer is not None:
+            self.machine.tracer.emit(
+                LinkDegradeEvent(time=time, multiplier=multiplier)
+            )

@@ -1,0 +1,45 @@
+"""Observability: structured tracing, metrics, and timeline export.
+
+The paper's whole synthesis loop (§5-§6) is driven by measurement —
+single-core profiles, simulated traces, critical-path analysis — and this
+package gives the *machine* the same treatment: every dispatch, commit,
+lock failure, message, heartbeat, and fault/recovery phase becomes a
+typed, timestamped event (:mod:`repro.obs.events`); a metrics registry
+derives utilization, queue depths, latency histograms, and an end-of-run
+cycle accounting that is machine-checked to tile the run exactly
+(:mod:`repro.obs.metrics`); and the event stream exports to Chrome
+trace-event JSON loadable in Perfetto (:mod:`repro.obs.export`).
+
+Observability is strictly pay-for-what-you-use: with
+``MachineConfig.observe`` off (the default) no tracer is installed, no
+per-event allocation happens, and a run is bit-identical to one without
+this package.
+"""
+
+from .events import (
+    Event,
+    Tracer,
+    legacy_line,
+    occupancy_intervals,
+)
+from .export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from .metrics import MetricsRegistry, build_metrics, cycle_accounting
+
+__all__ = [
+    "Event",
+    "MetricsRegistry",
+    "Tracer",
+    "build_metrics",
+    "chrome_trace",
+    "cycle_accounting",
+    "legacy_line",
+    "occupancy_intervals",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+]

@@ -1,0 +1,273 @@
+"""Exporters: Chrome trace-event JSON and metrics snapshots.
+
+:func:`chrome_trace` turns a typed event stream into the Chrome
+trace-event format (the JSON array flavor under a ``traceEvents`` key),
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* one **track per core** (``pid`` 0 = the machine, ``tid`` = core id,
+  named via ``M`` metadata events),
+* one **complete span** (``ph: "X"``) per task invocation — truncated
+  spans (crash/eviction/watchdog write-offs) export their truncated
+  window — plus spans for stalls and heartbeat charges,
+* **instants** (``ph: "i"``) for faults, detections, evictions, rejoins,
+  preemptions, retries, quarantines, and lock failures, and
+* **counter events** (``ph: "C"``) tracking each core's run-queue depth.
+
+Timestamps are simulated cycles, exported 1:1 as microseconds — the
+absolute unit is meaningless for a cycle-accurate simulation; relative
+widths are what the timeline is for.
+
+:func:`validate_chrome_trace` is the schema check used by tests and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .events import (
+    Crash,
+    Detect,
+    Event,
+    Evict,
+    HEARTBEAT_LABEL,
+    LockFail,
+    Quarantine,
+    QueueDepth,
+    Rejoin,
+    STALL_LABEL,
+    TaskCommit,
+    TaskPreempt,
+    TaskRetry,
+    occupancy_intervals,
+)
+
+SCHEMA = "repro.obs/chrome-trace-v1"
+
+#: machine-level pid for every exported event
+_PID = 0
+
+#: instant-event kinds exported one-to-one: event class -> (name, category)
+_INSTANTS = {
+    Crash: ("crash", "fault"),
+    Detect: ("detect", "fault"),
+    Evict: ("evict", "fault"),
+    Rejoin: ("rejoin", "fault"),
+    TaskPreempt: ("watchdog preempt", "fault"),
+    TaskRetry: ("retry", "fault"),
+    LockFail: ("lock fail", "lock"),
+}
+
+
+def chrome_trace(
+    events: List[Event],
+    cores: Sequence[int],
+    makespan: Optional[int] = None,
+) -> Dict[str, object]:
+    """Builds the Chrome trace-event document for one observed run."""
+    trace_events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "many-core machine"},
+        }
+    ]
+    for core in sorted(cores):
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": core,
+                "name": "thread_name",
+                "args": {"name": f"core {core}"},
+            }
+        )
+
+    # Span outcomes: exit ids for committed spans, preemption marks.
+    exits: Dict[int, int] = {}
+    preempted: Dict[int, bool] = {}
+    for event in events:
+        if isinstance(event, TaskCommit):
+            exits[event.span] = event.exit_id
+        elif isinstance(event, TaskPreempt):
+            preempted[event.span] = True
+
+    for core, intervals in sorted(occupancy_intervals(events).items()):
+        for start, end, label, span in intervals:
+            args: Dict[str, object] = {}
+            category = "task"
+            if label == STALL_LABEL:
+                category = "stall"
+            elif label == HEARTBEAT_LABEL:
+                category = "heartbeat"
+            elif span in exits:
+                args = {"span": span, "exit": exits[span], "state": "committed"}
+            elif preempted.get(span):
+                args = {"span": span, "state": "preempted"}
+            else:
+                args = {"span": span, "state": "truncated"}
+            trace_events.append(
+                {
+                    "name": label,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "pid": _PID,
+                    "tid": core,
+                    "args": args,
+                }
+            )
+
+    for event in events:
+        spec = _INSTANTS.get(type(event))
+        if spec is not None:
+            name, category = spec
+            payload = event.to_json()
+            payload.pop("time", None)
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "i",
+                    "ts": event.time,
+                    "pid": _PID,
+                    "tid": getattr(event, "core", 0),
+                    "s": "t",
+                    "args": payload,
+                }
+            )
+        elif isinstance(event, Quarantine):
+            trace_events.append(
+                {
+                    "name": "quarantine",
+                    "cat": "fault",
+                    "ph": "i",
+                    "ts": event.time,
+                    "pid": _PID,
+                    "tid": 0,
+                    "s": "g",  # global scope: poison bars every scheduler
+                    "args": event.to_json(),
+                }
+            )
+        elif isinstance(event, QueueDepth):
+            trace_events.append(
+                {
+                    "name": f"run queue core {event.core}",
+                    "cat": "queue",
+                    "ph": "C",
+                    "ts": event.time,
+                    "pid": _PID,
+                    "tid": event.core,
+                    "args": {"depth": event.depth},
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA,
+            "time_unit": "cycles",
+            "makespan": makespan,
+            "cores": sorted(cores),
+        },
+    }
+
+
+def validate_chrome_trace(doc: Dict[str, object]) -> Dict[str, object]:
+    """Checks a trace document against the Chrome trace-event schema.
+
+    Verifies the required fields per phase (``ph``/``ts``/``pid``/``tid``,
+    ``dur`` and ``name`` for spans, ``s`` for instants) and that spans on
+    each track are properly nested (any two either disjoint or one
+    containing the other). Raises :class:`ValueError` on violation and
+    returns a small summary for callers that want to assert counts.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace document: missing 'traceEvents'")
+    trace_events = doc["traceEvents"]
+    if not isinstance(trace_events, list):
+        raise ValueError("'traceEvents' must be a list")
+
+    spans_by_track: Dict[object, List[Dict[str, object]]] = {}
+    tracks = set()
+    counts = {"spans": 0, "instants": 0, "counters": 0, "metadata": 0}
+    for index, event in enumerate(trace_events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index}: not an object")
+        for key in ("ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {index}: missing '{key}'")
+        phase = event["ph"]
+        if phase == "M":
+            counts["metadata"] += 1
+            if event.get("name") == "thread_name":
+                tracks.add(event["tid"])
+            continue
+        if "ts" not in event:
+            raise ValueError(f"event {index}: missing 'ts'")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {index}: non-numeric 'ts'")
+        if phase == "X":
+            counts["spans"] += 1
+            for key in ("dur", "name"):
+                if key not in event:
+                    raise ValueError(f"event {index}: span missing '{key}'")
+            if event["dur"] < 0:
+                raise ValueError(f"event {index}: negative span duration")
+            spans_by_track.setdefault(event["tid"], []).append(event)
+        elif phase == "i":
+            counts["instants"] += 1
+            if event.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"event {index}: instant missing scope 's'")
+        elif phase == "C":
+            counts["counters"] += 1
+            if "args" not in event:
+                raise ValueError(f"event {index}: counter missing 'args'")
+        else:
+            raise ValueError(f"event {index}: unknown phase {phase!r}")
+
+    for tid, spans in spans_by_track.items():
+        ordered = sorted(spans, key=lambda s: (s["ts"], -s["dur"]))
+        stack: List[Dict[str, object]] = []
+        for span in ordered:
+            start = span["ts"]
+            end = start + span["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if end > parent_end:
+                    raise ValueError(
+                        f"track {tid}: span {span['name']!r} at {start} "
+                        f"overlaps its predecessor without nesting"
+                    )
+            stack.append(span)
+
+    return {
+        "tracks": sorted(tracks, key=str),
+        **counts,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    events: List[Event],
+    cores: Sequence[int],
+    makespan: Optional[int] = None,
+) -> Dict[str, object]:
+    """Writes the Chrome trace for one run; returns the document."""
+    doc = chrome_trace(events, cores, makespan=makespan)
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+    return doc
+
+
+def write_metrics_snapshot(path: str, snapshot: Dict[str, object]) -> None:
+    """Writes one run's metrics snapshot as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")

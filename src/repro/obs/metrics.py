@@ -1,0 +1,468 @@
+"""Metrics registry and machine-checked end-of-run cycle accounting.
+
+The registry holds three primitive instrument kinds — counters, gauges,
+and histograms — and :func:`build_metrics` populates it from a machine
+run's typed event stream, deriving:
+
+* per-core **utilization** over each core's live window,
+* **run-queue depth** over time (time-weighted mean and peak per core),
+* **lock-contention** and **retry** rates,
+* per-task **latency histograms** (span durations and queue waits), and
+* the end-of-run **cycle accounting**: every (core, cycle) of the run is
+  classified as exactly one of *busy* (occupied by a span, stall, or
+  heartbeat charge), *blocked* (idle with formed invocations queued —
+  lock contention or a stalled dispatch path), *idle* (no runnable
+  work), or *dead* (after the core's final death), and the identity
+
+      busy + idle + blocked + dead == makespan x cores
+
+  is checked exactly, along with the instrumentation soundness that
+  makes it non-trivial: occupancy intervals must not overlap, must not
+  extend past a core's death, queue depths must never go negative, and
+  the event-stream counters must reconcile with the machine's own
+  statistics (commits vs invocation counts, sends vs message count,
+  lock-fail events vs the lock-failure counter).
+
+A violation raises :class:`repro.lang.errors.ScheduleError` — the same
+hard-failure treatment the termination invariant gets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.errors import ScheduleError
+from .events import (
+    Crash,
+    Detect,
+    Evict,
+    Event,
+    Heartbeat,
+    LinkDegradeEvent,
+    LockAcquire,
+    LockFail,
+    MailRecv,
+    MailSend,
+    Quarantine,
+    QueueDepth,
+    Rejoin,
+    Stall,
+    TaskCommit,
+    TaskDispatch,
+    TaskPreempt,
+    TaskRetry,
+    occupancy_intervals,
+)
+
+SCHEMA = "repro.obs/metrics-v1"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observed values with summary statistics."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0,
+                    "p50": 0, "p90": 0, "p99": 0}
+        ordered = sorted(self.values)
+        total = sum(ordered)
+
+        def pct(q: float) -> float:
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+        return {
+            "count": len(ordered),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms (get-or-create semantics)."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-ready dump of every instrument."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+
+# -- cycle accounting ----------------------------------------------------------
+
+
+def _blocked_cycles(
+    gaps: Sequence[Tuple[int, int]], samples: Sequence[Tuple[int, int]]
+) -> int:
+    """Cycles inside ``gaps`` during which the queue-depth step function
+    (from ``samples``, an implied 0 before the first) is positive."""
+    total = 0
+    index = 0
+    depth = 0
+    for begin, end in gaps:
+        while index < len(samples) and samples[index][0] <= begin:
+            depth = samples[index][1]
+            index += 1
+        cursor = begin
+        while index < len(samples) and samples[index][0] < end:
+            step_time, step_depth = samples[index]
+            if depth > 0:
+                total += step_time - cursor
+            cursor = step_time
+            depth = step_depth
+            index += 1
+        if depth > 0:
+            total += end - cursor
+    return total
+
+
+def cycle_accounting(
+    events: List[Event],
+    makespan: int,
+    cores: Sequence[int],
+    death_cycles: Dict[int, int],
+) -> Dict[int, Dict[str, int]]:
+    """Partitions every core's ``[0, makespan)`` into busy / blocked /
+    idle / dead and verifies the partition is sound.
+
+    Returns ``{core: {"busy", "blocked", "idle", "dead"}}``; raises
+    :class:`ScheduleError` when the instrumentation does not tile the run
+    exactly (overlapping occupancy, occupancy past a core's death, a
+    negative queue depth, or a negative residual).
+    """
+    occupancy = occupancy_intervals(events)
+    queue_samples: Dict[int, List[Tuple[int, int]]] = {}
+    for event in events:
+        if isinstance(event, QueueDepth):
+            if event.depth < 0:
+                raise ScheduleError(
+                    f"cycle accounting violated: negative queue depth "
+                    f"{event.depth} on core {event.core} at {event.time}"
+                )
+            queue_samples.setdefault(event.core, []).append(
+                (event.time, event.depth)
+            )
+
+    problems: List[str] = []
+    accounts: Dict[int, Dict[str, int]] = {}
+    for core in cores:
+        death = death_cycles.get(core)
+        dead_start = makespan if death is None else min(death, makespan)
+        intervals = sorted(occupancy.get(core, []))
+        busy = 0
+        gaps: List[Tuple[int, int]] = []
+        cursor = 0
+        previous_end = 0
+        for start, end, _label, _span in intervals:
+            if start < previous_end:
+                problems.append(
+                    f"core {core}: overlapping occupancy at cycle {start}"
+                )
+            previous_end = max(previous_end, end)
+            # An interval straddling the core's death means a missing
+            # truncation (charged cycles survived the write-off). Tails
+            # past the *makespan* on live cores are legitimate — heartbeat
+            # charges and stall freezes can outlast the last real event —
+            # and simply clip below. Post-death intervals on an evicted
+            # core (a suspected core can still stall) clip to nothing.
+            if death is not None and start < dead_start < end:
+                problems.append(
+                    f"core {core}: occupancy straddles death "
+                    f"([{start}, {end}) vs death {dead_start})"
+                )
+            clipped_start = min(max(0, start), dead_start)
+            clipped_end = min(end, dead_start)
+            if clipped_end > clipped_start:
+                busy += clipped_end - clipped_start
+                if clipped_start > cursor:
+                    gaps.append((cursor, clipped_start))
+                cursor = max(cursor, clipped_end)
+        if cursor < dead_start:
+            gaps.append((cursor, dead_start))
+        blocked = _blocked_cycles(gaps, queue_samples.get(core, []))
+        idle = dead_start - busy - blocked
+        dead = makespan - dead_start
+        if idle < 0:
+            problems.append(
+                f"core {core}: negative idle residual ({idle}) — busy "
+                f"{busy} + blocked {blocked} exceed the live window"
+            )
+        accounts[core] = {
+            "busy": busy,
+            "blocked": blocked,
+            "idle": idle,
+            "dead": dead,
+        }
+        if busy + blocked + idle + dead != makespan:
+            problems.append(
+                f"core {core}: busy+blocked+idle+dead == "
+                f"{busy + blocked + idle + dead} != makespan {makespan}"
+            )
+    if problems:
+        raise ScheduleError(
+            "cycle accounting violated: " + "; ".join(problems)
+        )
+    return accounts
+
+
+def _legacy_busy_fraction(
+    core_busy: Dict[int, int], makespan: int, deaths: Dict[int, int]
+) -> float:
+    """``MachineResult.busy_fraction`` recomputed term for term, so the
+    two code paths can be asserted to agree."""
+    if not core_busy or makespan == 0:
+        return 0.0
+    live_window = 0
+    for core in core_busy:
+        live_window += min(deaths.get(core, makespan), makespan)
+    if live_window == 0:
+        return 0.0
+    return sum(core_busy.values()) / live_window
+
+
+def _queue_depth_aggregates(
+    events: List[Event], makespan: int
+) -> Dict[int, Dict[str, float]]:
+    """Per-core time-weighted mean and peak of the ready-queue depth."""
+    samples: Dict[int, List[Tuple[int, int]]] = {}
+    for event in events:
+        if isinstance(event, QueueDepth):
+            samples.setdefault(event.core, []).append((event.time, event.depth))
+    aggregates: Dict[int, Dict[str, float]] = {}
+    for core, series in samples.items():
+        area = 0
+        peak = 0
+        depth = 0
+        cursor = 0
+        for time, new_depth in series:
+            clipped = min(max(time, 0), makespan)
+            area += depth * (clipped - cursor)
+            cursor = clipped
+            depth = new_depth
+            peak = max(peak, new_depth)
+        area += depth * max(0, makespan - cursor)
+        aggregates[core] = {
+            "mean_depth": area / makespan if makespan else 0.0,
+            "peak_depth": float(peak),
+        }
+    return aggregates
+
+
+def build_metrics(
+    events: List[Event],
+    *,
+    makespan: int,
+    core_busy: Dict[int, int],
+    death_cycles: Optional[Dict[int, int]],
+    invocations: Dict[str, int],
+    messages: int,
+    lock_failures: int,
+    busy_fraction: float,
+) -> Dict[str, object]:
+    """Derives the full metrics snapshot for one observed machine run.
+
+    Verifies the cycle-accounting invariant and reconciles the event
+    stream against the machine's own statistics; any disagreement raises
+    :class:`ScheduleError`. The returned dict is JSON-serializable.
+    """
+    deaths = death_cycles or {}
+    cores = sorted(core_busy)
+    registry = MetricsRegistry()
+
+    span_starts: Dict[int, TaskDispatch] = {}
+    for event in events:
+        if isinstance(event, TaskDispatch):
+            registry.counter("task_dispatches").inc()
+            span_starts[event.span] = event
+            registry.histogram("queue_wait").observe(
+                event.start - event.formed_at
+            )
+        elif isinstance(event, TaskCommit):
+            registry.counter("task_commits").inc()
+            dispatch = span_starts.get(event.span)
+            if dispatch is not None:
+                latency = event.time - dispatch.start
+                registry.histogram("task_latency").observe(latency)
+                registry.histogram(f"task_latency[{event.task}]").observe(
+                    latency
+                )
+        elif isinstance(event, TaskPreempt):
+            registry.counter("task_preemptions").inc()
+        elif isinstance(event, TaskRetry):
+            registry.counter("task_retries").inc()
+        elif isinstance(event, LockAcquire):
+            registry.counter("lock_acquires").inc()
+        elif isinstance(event, LockFail):
+            registry.counter("lock_failures").inc()
+        elif isinstance(event, MailSend):
+            registry.counter("mail_sent").inc()
+        elif isinstance(event, MailRecv):
+            registry.counter("mail_received").inc()
+        elif isinstance(event, Heartbeat):
+            registry.counter("heartbeats").inc()
+        elif isinstance(event, Crash):
+            registry.counter("crashes").inc()
+        elif isinstance(event, Stall):
+            registry.counter("stalls").inc()
+        elif isinstance(event, Detect):
+            registry.counter("detections").inc()
+            registry.histogram("detection_latency").observe(event.latency)
+        elif isinstance(event, Evict):
+            registry.counter("evictions").inc()
+        elif isinstance(event, Rejoin):
+            registry.counter("rejoins").inc()
+        elif isinstance(event, LinkDegradeEvent):
+            registry.counter("link_events").inc()
+        elif isinstance(event, Quarantine):
+            registry.counter("quarantines").inc()
+
+    # -- reconcile against the machine's own statistics ----------------------
+    problems: List[str] = []
+    commits = registry.counter("task_commits").value
+    if commits != sum(invocations.values()):
+        problems.append(
+            f"commit events ({commits}) != invocation counts "
+            f"({sum(invocations.values())})"
+        )
+    sends = registry.counter("mail_sent").value
+    if sends != messages:
+        problems.append(f"send events ({sends}) != messages ({messages})")
+    fails = registry.counter("lock_failures").value
+    if fails != lock_failures:
+        problems.append(
+            f"lock-fail events ({fails}) != lock failures ({lock_failures})"
+        )
+    recomputed = _legacy_busy_fraction(core_busy, makespan, deaths)
+    if recomputed != busy_fraction:
+        problems.append(
+            f"busy_fraction disagreement: metrics {recomputed} vs "
+            f"MachineResult {busy_fraction}"
+        )
+    if problems:
+        raise ScheduleError("metrics reconciliation failed: " + "; ".join(problems))
+
+    # -- accounting + derived gauges -----------------------------------------
+    accounts = cycle_accounting(events, makespan, cores, deaths)
+    dispatches = registry.counter("task_dispatches").value
+    registry.gauge("lock_contention_rate").set(
+        fails / (dispatches + fails) if (dispatches + fails) else 0.0
+    )
+    registry.gauge("retry_rate").set(
+        registry.counter("task_retries").value / dispatches
+        if dispatches
+        else 0.0
+    )
+
+    queue_aggregates = _queue_depth_aggregates(events, makespan)
+    per_core: Dict[int, Dict[str, object]] = {}
+    for core in cores:
+        account = accounts[core]
+        live_window = makespan - account["dead"]
+        utilization = account["busy"] / live_window if live_window else 0.0
+        registry.gauge(f"utilization[core {core}]").set(utilization)
+        per_core[core] = {
+            **account,
+            "live_window": live_window,
+            "utilization": utilization,
+            "legacy_busy": core_busy.get(core, 0),
+            **queue_aggregates.get(
+                core, {"mean_depth": 0.0, "peak_depth": 0.0}
+            ),
+        }
+
+    totals = {
+        key: sum(account[key] for account in accounts.values())
+        for key in ("busy", "blocked", "idle", "dead")
+    }
+    snapshot: Dict[str, object] = {
+        "schema": SCHEMA,
+        "makespan": makespan,
+        "cores": len(cores),
+        "events": len(events),
+        "busy_fraction": busy_fraction,
+        "accounting": {
+            "identity": "busy + blocked + idle + dead == makespan x cores",
+            "per_core": accounts,
+            "totals": totals,
+            "makespan_x_cores": makespan * len(cores),
+        },
+        "per_core": per_core,
+        **registry.snapshot(),
+    }
+    total_cycles = sum(totals.values())
+    if total_cycles != makespan * len(cores):
+        raise ScheduleError(
+            f"cycle accounting violated: totals {total_cycles} != "
+            f"makespan x cores {makespan * len(cores)}"
+        )
+    return snapshot

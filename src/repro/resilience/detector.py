@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from ..fault.plan import CoreCrash, FaultEvent
+from ..obs.events import Heartbeat
 from .config import ResilienceConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -104,6 +105,15 @@ class FailureDetector:
             return
         self.last_beat[core] = time
         self.stats.heartbeats += 1
+        if machine.tracer is not None:
+            machine.tracer.emit(
+                Heartbeat(
+                    time=time,
+                    core=core,
+                    begin=max(machine.busy_until[core], time),
+                    cost=self.config.heartbeat_cost,
+                )
+            )
         if self.config.heartbeat_cost:
             machine.busy_until[core] = (
                 max(machine.busy_until[core], time) + self.config.heartbeat_cost

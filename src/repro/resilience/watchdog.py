@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
+from ..obs.events import Quarantine, TaskPreempt, TaskRetry, Truncate
 from ..schedule.layout import core_speed, scale_duration
 from .config import ResilienceConfig
 
@@ -90,9 +91,13 @@ class TaskWatchdog:
         machine._inflight.pop(core, None)
         invocation = commit.invocation
         self.stats.watchdog_preemptions += 1
-        machine.record_trace(
-            time, f"watchdog preempt core {core} {invocation.task}"
-        )
+        if machine.tracer is not None:
+            machine.tracer.emit(
+                TaskPreempt(
+                    time=time, core=core, task=invocation.task, span=commit_id
+                )
+            )
+            machine.tracer.emit(Truncate(time=time, core=core, at=time))
 
         # The invocation becomes a no-op transaction: eager field writes
         # roll back, locks release, the completion event will find nothing.
@@ -121,6 +126,13 @@ class TaskWatchdog:
         backoff = self.config.backoff_for(attempts)
         self.stats.retries += 1
         self.stats.backoff_cycles += backoff
+        if self.machine.tracer is not None:
+            self.machine.tracer.emit(
+                TaskRetry(
+                    time=time, core=core, task=invocation.task,
+                    attempt=attempts, backoff=backoff,
+                )
+            )
         for obj in invocation.objects:
             self.machine._route_concrete(
                 obj, sender_core=core, time=time + backoff
@@ -132,7 +144,10 @@ class TaskWatchdog:
         """Moves a poison group to the dead-letter queue for good."""
         machine = self.machine
         self.stats.quarantined_groups += 1
-        machine.record_trace(time, f"quarantine {task} objects {list(object_ids)}")
+        if machine.tracer is not None:
+            machine.tracer.emit(
+                Quarantine(time=time, task=task, object_ids=object_ids)
+            )
         record = QuarantineRecord(
             task=task, object_ids=object_ids, attempts=attempts, cycle=time
         )
@@ -145,5 +160,9 @@ class TaskWatchdog:
             if sched_core in machine.dead_cores:
                 continue
             _, displaced = scheduler.purge_poisoned(machine.poisoned_ids)
+            if machine.tracer is not None:
+                machine.tracer.queue_sample(
+                    time, sched_core, len(scheduler.ready)
+                )
             for obj in displaced:
                 machine._route_concrete(obj, sender_core=sched_core, time=time)

@@ -29,6 +29,16 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 from ..analysis.astate import AState, state_of_object
 from ..ir import costs
 from ..lang.errors import ScheduleError
+from ..obs.events import (
+    Event,
+    LockAcquire,
+    LockFail,
+    MailRecv,
+    MailSend,
+    TaskCommit,
+    TaskDispatch,
+    Tracer,
+)
 from ..schedule.layout import (
     Layout,
     Router,
@@ -78,9 +88,17 @@ class MachineConfig:
     #: invocations on live cores) at end of run
     validate: bool = False
     #: record a per-commit/per-fault event trace on the result (for
-    #: determinism checks and debugging; off by default — it is the only
-    #: config flag that allocates per-event)
+    #: determinism checks and debugging; off by default). The legacy
+    #: string lines are derived from the typed observability events.
     record_trace: bool = False
+    #: full observability (:mod:`repro.obs`): collect the typed event
+    #: stream on ``MachineResult.events`` and derive the metrics snapshot
+    #: (utilization, queue depths, latency histograms, machine-checked
+    #: cycle accounting) on ``MachineResult.metrics``. Off by default —
+    #: ``observe`` and ``record_trace`` are the only config flags that
+    #: allocate per-event; with both off the run is bit-identical to one
+    #: without this machinery.
+    observe: bool = False
     max_invocations: int = 5_000_000
     max_events: int = 20_000_000
     interp_max_steps: int = 2_000_000_000
@@ -105,6 +123,11 @@ class MachineResult:
     recovery: Optional["RecoveryStats"] = None
     #: event trace (only with ``MachineConfig.record_trace``)
     trace: Optional[List[str]] = None
+    #: typed event stream (only with ``MachineConfig.observe``)
+    events: Optional[List[Event]] = None
+    #: metrics snapshot derived from the event stream, including the
+    #: machine-checked cycle accounting (only with ``observe``)
+    metrics: Optional[Dict[str, object]] = None
     #: dead-letter queue of poison (task, object-group) pairs; present iff
     #: resilience was enabled
     quarantined: Optional[List["QuarantineRecord"]] = None
@@ -251,7 +274,14 @@ class ManyCoreMachine:
             self._watchdog = TaskWatchdog(self, resilience, self.recovery)
             for scheduler in self.schedulers.values():
                 scheduler.poisoned = self.poisoned_ids
-        self.trace: Optional[List[str]] = [] if self.config.record_trace else None
+        #: typed event collector; None unless observability (or the
+        #: legacy string trace, now derived from it) was requested — the
+        #: ``is not None`` guards keep the off path allocation-free
+        self.tracer: Optional[Tracer] = (
+            Tracer()
+            if (self.config.observe or self.config.record_trace)
+            else None
+        )
 
         # statistics
         self.invocation_counts: Dict[str, int] = {}
@@ -272,9 +302,11 @@ class ManyCoreMachine:
             self._real_events += 1
         heapq.heappush(self._events, (time, self._seq, kind, payload))
 
-    def record_trace(self, time: int, line: str) -> None:
-        if self.trace is not None:
-            self.trace.append(f"{time} {line}")
+    def _queue_sample(self, core: int, time: int) -> None:
+        """Emits a run-queue depth sample for ``core`` (deduplicated by
+        the tracer); call after any mutation of a scheduler's ready queue."""
+        if self.tracer is not None:
+            self.tracer.queue_sample(time, core, len(self.schedulers[core].ready))
 
     # -- main loop ----------------------------------------------------------------
 
@@ -322,6 +354,14 @@ class ManyCoreMachine:
                     continue
                 scheduler = self.schedulers[core]
                 scheduler.enqueue_object(task, param_index, obj, time)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        MailRecv(
+                            time=time, core=core, task=task,
+                            param_index=param_index,
+                        )
+                    )
+                    self._queue_sample(core, time)
                 if core in self.halted_cores:
                     # A silently-dead core still receives mail (the sender
                     # cannot know); it piles up until detection migrates it.
@@ -369,7 +409,14 @@ class ManyCoreMachine:
             self.profile.run_cycles = total
         if self.config.validate:
             self._assert_quiescent()
-        return MachineResult(
+        trace = None
+        events = None
+        if self.tracer is not None:
+            if self.config.record_trace:
+                trace = self.tracer.legacy_trace()
+            if self.config.observe:
+                events = self.tracer.events
+        result = MachineResult(
             total_cycles=total,
             core_busy=busy,
             invocations=dict(self.invocation_counts),
@@ -381,10 +428,25 @@ class ManyCoreMachine:
             stdout=self.interp.output(),
             profile=self.profile,
             recovery=self.recovery,
-            trace=self.trace,
+            trace=trace,
             quarantined=list(self.quarantined) if self._resilience_on else None,
             core_death_cycles=dict(self.death_cycles) or None,
+            events=events,
         )
+        if events is not None:
+            from ..obs.metrics import build_metrics
+
+            result.metrics = build_metrics(
+                events,
+                makespan=result.total_cycles,
+                core_busy=result.core_busy,
+                death_cycles=result.core_death_cycles or {},
+                invocations=result.invocations,
+                messages=result.messages,
+                lock_failures=result.lock_failures,
+                busy_fraction=result.busy_fraction(),
+            )
+        return result
 
     def _assert_quiescent(self) -> None:
         """The termination invariant: when the event queue drains, no lock
@@ -421,9 +483,18 @@ class ManyCoreMachine:
             self.stale_invocations += len(stale)
             for obj in stale:
                 self._route_concrete(obj, sender_core=core, time=time)
+        if self.tracer is not None:
+            self._queue_sample(core, time)
         if invocation is None:
             if scheduler.has_work():
                 self.lock_failures += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        LockFail(
+                            time=time, core=core,
+                            queued=len(scheduler.ready),
+                        )
+                    )
             return
 
         start = time
@@ -487,6 +558,25 @@ class ManyCoreMachine:
         self._push(completion, "complete", (core, self._commit_id))
         if self._watchdog is not None:
             self._watchdog.arm(core, self._commit_id, invocation.task, start, completion)
+        if self.tracer is not None:
+            self.tracer.emit(
+                LockAcquire(
+                    time=time, core=core, task=invocation.task,
+                    objects=len(invocation.objects),
+                )
+            )
+            self.tracer.emit(
+                TaskDispatch(
+                    time=time,
+                    core=core,
+                    task=invocation.task,
+                    span=self._commit_id,
+                    start=start,
+                    end=completion,
+                    formed_at=invocation.formed_at,
+                    objects=len(invocation.objects),
+                )
+            )
 
         if self.profile is not None:
             allocs: Dict[int, int] = {}
@@ -637,6 +727,13 @@ class ManyCoreMachine:
             self._push(time + latency, "arrive", (dest, task, param_index, obj))
             if sender_core is not None and dest != sender_core:
                 self.messages += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        MailSend(
+                            time=time, core=sender_core, dest=dest,
+                            task=task, latency=latency,
+                        )
+                    )
 
     # -- completion -----------------------------------------------------------------------
 
@@ -682,6 +779,13 @@ class ManyCoreMachine:
             self._push(time + latency, "arrive", (dest, dest_task, param_index, obj))
             if dest != core:
                 self.messages += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        MailSend(
+                            time=time, core=core, dest=dest,
+                            task=dest_task, latency=latency,
+                        )
+                    )
 
         # 4. Statistics.
         self.invocation_counts[task] = self.invocation_counts.get(task, 0) + 1
@@ -689,7 +793,13 @@ class ManyCoreMachine:
         self.exit_counts[key] = self.exit_counts.get(key, 0) + 1
         if self.recovery is not None:
             self.recovery.commits_applied += 1
-        self.record_trace(time, f"commit core {core} {task} exit {effects.exit_id}")
+        if self.tracer is not None:
+            self.tracer.emit(
+                TaskCommit(
+                    time=time, core=core, task=task,
+                    span=commit_id, exit_id=effects.exit_id,
+                )
+            )
 
         # 5. Keep the pipeline moving: this core and any lock-blocked cores.
         self._kick(core, time)

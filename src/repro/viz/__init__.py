@@ -1,12 +1,19 @@
 """Visualization: DOT emitters for the paper's figures and text rendering."""
 
 from .dot import cstg_to_dot, taskflow_to_dot, trace_to_dot
-from .text import render_critical_path, render_histogram, render_table, render_trace
+from .text import (
+    render_critical_path,
+    render_histogram,
+    render_machine_timeline,
+    render_table,
+    render_trace,
+)
 
 __all__ = [
     "cstg_to_dot",
     "render_critical_path",
     "render_histogram",
+    "render_machine_timeline",
     "render_table",
     "render_trace",
     "taskflow_to_dot",

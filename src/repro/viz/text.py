@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..obs.events import Crash, Event, Evict, Rejoin, occupancy_intervals
 from ..schedule.critpath import CriticalPath
 from ..schedule.simulator import SimResult
 
@@ -29,6 +30,68 @@ def render_trace(result: SimResult, max_events: int = 60) -> str:
 
 def render_critical_path(path: CriticalPath) -> str:
     return path.format()
+
+
+def render_machine_timeline(
+    events: List[Event],
+    total_cycles: int,
+    cores: Optional[Sequence[int]] = None,
+    width: int = 64,
+) -> str:
+    """A per-core utilization strip chart from a machine's event stream.
+
+    Each core gets one row of ``width`` buckets covering ``[0,
+    total_cycles)``; a bucket renders by its busy fraction — ``' '``
+    (empty), ``'.'`` (<1/3), ``':'`` (<2/3), ``'#'`` (≥2/3) — and ``'x'``
+    once the core is dead (crashed or evicted without rejoining). The
+    trailing column is each core's live-window utilization.
+    """
+    occupancy = occupancy_intervals(events)
+    death: Dict[int, int] = {}
+    for event in events:
+        if isinstance(event, (Crash, Evict)):
+            death.setdefault(event.core, event.time)
+        elif isinstance(event, Rejoin):
+            death.pop(event.core, None)
+    if cores is None:
+        cores = sorted(set(occupancy) | set(death))
+    if not cores or total_cycles <= 0:
+        return "(empty timeline)"
+
+    lines = [f"machine timeline: {total_cycles} cycles, {len(cores)} cores"]
+    bucket = total_cycles / width
+    for core in sorted(cores):
+        intervals = sorted(occupancy.get(core, []))
+        dead_at = min(death.get(core, total_cycles), total_cycles)
+        row = []
+        for index in range(width):
+            lo = index * bucket
+            hi = (index + 1) * bucket
+            if lo >= dead_at:
+                row.append("x")
+                continue
+            busy = 0.0
+            for start, end, _label, _span in intervals:
+                overlap = min(end, hi) - max(start, lo)
+                if overlap > 0:
+                    busy += overlap
+            fraction = busy / (hi - lo)
+            if fraction <= 0:
+                row.append(" ")
+            elif fraction < 1 / 3:
+                row.append(".")
+            elif fraction < 2 / 3:
+                row.append(":")
+            else:
+                row.append("#")
+        live = dead_at
+        busy_total = sum(
+            max(0, min(end, dead_at) - max(start, 0))
+            for start, end, _label, _span in intervals
+        )
+        utilization = busy_total / live if live else 0.0
+        lines.append(f"core {core:>3} |{''.join(row)}| {utilization:6.1%}")
+    return "\n".join(lines)
 
 
 def render_histogram(
