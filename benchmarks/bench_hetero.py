@@ -9,8 +9,7 @@ both executed on the heterogeneous machine."""
 
 from conftest import bench_config, emit
 from repro.bench import load_benchmark
-from repro.core import run_layout, synthesize_layout
-from repro.runtime.machine import MachineConfig
+from repro.core import RunOptions, SynthesisOptions, run_layout, synthesize_layout
 from repro.viz import render_table
 
 NUM_CORES = 16
@@ -27,14 +26,16 @@ def run_all(ctx):
         profile = ctx.profile(name)
 
         aware = synthesize_layout(
-            compiled, profile, NUM_CORES, seed=0, config=bench_config(),
-            core_speeds=SPEEDS,
+            compiled, profile, NUM_CORES,
+            options=SynthesisOptions(
+                seed=0, anneal=bench_config(), core_speeds=SPEEDS
+            ),
         ).layout
         blind = ctx.synthesis_report(name, num_cores=NUM_CORES).layout
 
-        machine_config = MachineConfig(core_speeds=SPEEDS)
-        aware_run = run_layout(compiled, aware, args, config=machine_config)
-        blind_run = run_layout(compiled, blind, args, config=machine_config)
+        hetero = RunOptions(core_speeds=SPEEDS)
+        aware_run = run_layout(compiled, aware, args, options=hetero)
+        blind_run = run_layout(compiled, blind, args, options=hetero)
         assert aware_run.stdout == blind_run.stdout
         rows.append(
             {

@@ -16,13 +16,14 @@ import pytest
 
 from repro.bench import PAPER_CORES, PAPER_MESH_WIDTH, get_spec, load_benchmark
 from repro.core import (
+    RunOptions,
+    SynthesisOptions,
     profile_program,
     run_layout,
     run_sequential,
     single_core_layout,
     synthesize_layout,
 )
-from repro.runtime.machine import MachineConfig
 from repro.schedule.anneal import AnnealConfig
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -76,10 +77,14 @@ class ExperimentContext:
                 self.compiled(name),
                 self.profile(name, double),
                 num_cores,
-                seed=0,
-                config=bench_config(),
-                hints=get_spec(name).hints,
-                mesh_width=PAPER_MESH_WIDTH if num_cores == PAPER_CORES else None,
+                options=SynthesisOptions(
+                    seed=0,
+                    anneal=bench_config(),
+                    hints=get_spec(name).hints,
+                    mesh_width=(
+                        PAPER_MESH_WIDTH if num_cores == PAPER_CORES else None
+                    ),
+                ),
             )
         return self._layouts[key]
 
@@ -112,7 +117,7 @@ class ExperimentContext:
             # simulated cycle counts (bit-identity is test-enforced).
             self._many[key] = run_layout(
                 self.compiled(name), report.layout, self.args(name, double),
-                config=MachineConfig(observe=True),
+                options=RunOptions(observe=True),
             )
         return self._many[key]
 

@@ -13,7 +13,12 @@ Run:  python examples/compiler_explorer.py [benchmark]
 import sys
 
 from repro.bench import benchmark_names, get_spec, load_benchmark
-from repro.core import annotated_cstg, profile_program, synthesize_layout
+from repro.core import (
+    SynthesisOptions,
+    annotated_cstg,
+    profile_program,
+    synthesize_layout,
+)
 from repro.schedule.coregroup import build_group_graph
 from repro.schedule.critpath import compute_critical_path
 from repro.schedule.rules import suggest_replicas
@@ -87,7 +92,9 @@ def main() -> None:
         )
 
     header(f"synthesized {NUM_CORES}-core layout (§4.5)")
-    report = synthesize_layout(compiled, profile, NUM_CORES, seed=0)
+    report = synthesize_layout(
+        compiled, profile, NUM_CORES, options=SynthesisOptions(seed=0)
+    )
     print(report.layout.describe())
     print(f"  estimated: {report.estimated_cycles:,} cycles "
           f"({report.evaluations} layouts evaluated in "

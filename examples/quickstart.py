@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import (
+    SynthesisOptions,
     compile_program,
     profile_program,
     run_layout,
@@ -127,9 +128,12 @@ def main() -> None:
 
     print()
     print("4. synthesizing an 8-core implementation (rules + DSA, §4.3-4.5)")
-    report = synthesize_layout(compiled, profile, num_cores=8, seed=0)
-    print(f"   evaluated {report.evaluations} candidate layouts in "
-          f"{report.wall_seconds:.2f}s")
+    report = synthesize_layout(
+        compiled, profile, num_cores=8, options=SynthesisOptions(seed=0)
+    )
+    print(f"   evaluated {report.requested_evaluations} candidate layouts "
+          f"({report.evaluations} simulated, {report.cache_hits} from the "
+          f"simulation cache) in {report.wall_seconds:.2f}s")
     for line in report.layout.describe().splitlines():
         print("   " + line)
 

@@ -12,8 +12,46 @@ Subpackages:
 * :mod:`repro.runtime` — the interpreter, distributed scheduler, and the
   many-core machine simulator.
 * :mod:`repro.core` — the public API.
+* :mod:`repro.search` — the parallel, memoized layout-evaluation engine.
 * :mod:`repro.bench` — the paper's benchmarks and experiment runners.
 * :mod:`repro.viz` — DOT/text visualization.
+
+The public API re-exports here, so typical use is just::
+
+    from repro import (
+        RunOptions, SynthesisOptions,
+        compile_program, profile_program, run_layout, synthesize_layout,
+    )
 """
 
-__version__ = "1.0.0"
+from .core import (
+    CompiledProgram,
+    RunOptions,
+    SequentialResult,
+    SynthesisOptions,
+    SynthesisReport,
+    annotated_cstg,
+    compile_program,
+    profile_program,
+    run_layout,
+    run_sequential,
+    single_core_layout,
+    synthesize_layout,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "RunOptions",
+    "SequentialResult",
+    "SynthesisOptions",
+    "SynthesisReport",
+    "annotated_cstg",
+    "compile_program",
+    "profile_program",
+    "run_layout",
+    "run_sequential",
+    "single_core_layout",
+    "synthesize_layout",
+]
+
+__version__ = "1.1.0"

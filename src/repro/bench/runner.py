@@ -23,6 +23,7 @@ from ..core.api import (
     run_sequential,
     single_core_layout,
 )
+from ..core.options import SynthesisOptions
 from ..core.pipeline import SynthesisReport, synthesize_layout
 from ..runtime.profiler import ProfileData
 from ..schedule.anneal import AnnealConfig
@@ -61,15 +62,21 @@ def synthesize_for(
     hints: Optional[Dict[str, str]] = None,
     mesh_width: Optional[int] = None,
     config: Optional[AnnealConfig] = None,
+    workers: int = 1,
+    sim_cache: bool = True,
 ) -> SynthesisReport:
     return synthesize_layout(
         compiled,
         profile,
         num_cores,
-        seed=seed,
-        hints=hints,
-        mesh_width=mesh_width,
-        config=config,
+        options=SynthesisOptions(
+            seed=seed,
+            anneal=config,
+            hints=hints,
+            mesh_width=mesh_width,
+            workers=workers,
+            sim_cache=sim_cache,
+        ),
     )
 
 

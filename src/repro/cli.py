@@ -9,6 +9,11 @@ Commands
     Run the program's ``SeqMain.run`` sequentially (the C-baseline mode).
 ``run FILE [ARGS...] --cores N``
     Full pipeline: profile, synthesize a layout, execute on the machine.
+    ``--workers N`` fans the layout search's candidate simulations across
+    N worker processes (bit-identical results to the serial search) and
+    ``--no-sim-cache`` disables simulation memoization;
+    ``--search-metrics-out FILE`` writes the search telemetry snapshot
+    (evaluations, cache hit rate, wall seconds) as JSON.
     ``--resilience`` runs with detection-driven failure handling
     (heartbeats, watchdog deadlines, retry/quarantine); ``--chaos N``
     instead sweeps N seeded fault plans and exits nonzero if any
@@ -31,6 +36,8 @@ from typing import List, Optional
 
 from .bench import benchmark_names, run_three_versions
 from .core import (
+    RunOptions,
+    SynthesisOptions,
     annotated_cstg,
     compile_program,
     profile_program,
@@ -41,7 +48,6 @@ from .core import (
 )
 from .fault.plan import FaultPlan
 from .lang.errors import BambooError, RuntimeBambooError, ScheduleError
-from .runtime.machine import MachineConfig
 
 
 def _load(path: str, optimize: bool = False):
@@ -102,31 +108,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
             deadline_multiplier=args.deadline_mult,
             profile=profile if args.deadline_mult is not None else None,
         )
-    observe = bool(args.trace_out or args.metrics_out)
-    config: Optional[MachineConfig] = None
-    if args.inject_fault or args.validate or resilience is not None or observe:
-        fault_plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
-        config = MachineConfig(
-            fault_plan=fault_plan,
-            resilience=resilience,
-            validate=args.validate,
-            observe=observe,
-        )
-        if args.verbose and fault_plan is not None:
-            print(fault_plan.describe(), file=sys.stderr)
+    fault_plan = FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+    if args.verbose and fault_plan is not None:
+        print(fault_plan.describe(), file=sys.stderr)
+    run_options = RunOptions(
+        fault_plan=fault_plan,
+        resilience=resilience,
+        validate=args.validate,
+        trace_path=args.trace_out,
+        metrics_path=args.metrics_out,
+    )
     if args.cores <= 1:
         layout = single_core_layout(compiled)
     else:
         if profile is None:
             profile = profile_program(compiled, args.args)
         report = synthesize_layout(
-            compiled, profile, args.cores, seed=args.seed
+            compiled,
+            profile,
+            args.cores,
+            options=SynthesisOptions(
+                seed=args.seed,
+                workers=args.workers,
+                sim_cache=not args.no_sim_cache,
+            ),
         )
+        if args.search_metrics_out:
+            import json
+
+            with open(args.search_metrics_out, "w") as handle:
+                json.dump(report.search_metrics, handle, indent=2)
+                handle.write("\n")
+            print(f"[search metrics: {args.search_metrics_out}]", file=sys.stderr)
         if args.verbose:
             print(report.layout.describe(), file=sys.stderr)
             print(
-                f"[synthesis: {report.evaluations} layouts, "
-                f"{report.wall_seconds:.2f}s]",
+                f"[synthesis: {report.evaluations} simulations "
+                f"(+{report.cache_hits} cache hits), "
+                f"{report.wall_seconds:.2f}s, workers={args.workers}]",
                 file=sys.stderr,
             )
         layout = report.layout
@@ -143,7 +162,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(chaos.describe())
         return 0 if chaos.ok else 1
-    result = run_layout(compiled, layout, args.args, config=config)
+    result = run_layout(compiled, layout, args.args, options=run_options)
     if result.stdout:
         print(result.stdout)
     print(
@@ -153,28 +172,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if result.recovery is not None:
         print(f"[{result.recovery.describe()}]", file=sys.stderr)
-    if observe and result.events is not None:
-        from .obs import write_chrome_trace, write_metrics_snapshot
+    if args.trace_out:
+        print(f"[trace: {args.trace_out}]", file=sys.stderr)
+    if args.metrics_out:
+        print(f"[metrics: {args.metrics_out}]", file=sys.stderr)
+    if run_options.wants_observe() and args.verbose and result.events is not None:
+        from .viz import render_machine_timeline
 
-        cores = sorted(result.core_busy)
-        if args.trace_out:
-            write_chrome_trace(
-                args.trace_out,
-                result.events,
-                cores,
-                makespan=result.total_cycles,
-            )
-            print(f"[trace: {args.trace_out}]", file=sys.stderr)
-        if args.metrics_out and result.metrics is not None:
-            write_metrics_snapshot(args.metrics_out, result.metrics)
-            print(f"[metrics: {args.metrics_out}]", file=sys.stderr)
-        if args.verbose:
-            from .viz import render_machine_timeline
-
-            print(
-                render_machine_timeline(result.events, result.total_cycles),
-                file=sys.stderr,
-            )
+        print(
+            render_machine_timeline(result.events, result.total_cycles),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -232,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("args", nargs="*")
     p_run.add_argument("--cores", type=int, default=8)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the layout search's candidate "
+             "simulations (results are bit-identical to --workers 1)",
+    )
+    p_run.add_argument(
+        "--no-sim-cache", action="store_true",
+        help="disable simulation memoization in the layout search",
+    )
+    p_run.add_argument(
+        "--search-metrics-out", metavar="FILE", default=None,
+        help="write the layout search's telemetry snapshot (simulations, "
+             "cache hit rate, wall seconds) as JSON",
+    )
     p_run.add_argument("--verbose", action="store_true")
     p_run.add_argument(
         "-O", "--optimize", action="store_true",

@@ -10,11 +10,14 @@ from .api import (
     run_sequential,
     single_core_layout,
 )
+from .options import RunOptions, SynthesisOptions
 from .pipeline import SynthesisReport, synthesize_layout
 
 __all__ = [
     "CompiledProgram",
+    "RunOptions",
     "SequentialResult",
+    "SynthesisOptions",
     "SynthesisReport",
     "annotated_cstg",
     "compile_program",

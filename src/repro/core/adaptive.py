@@ -29,6 +29,7 @@ from ..schedule.anneal import AnnealConfig
 from ..schedule.layout import Layout
 from ..schedule.simulator import estimate_layout
 from .api import CompiledProgram, run_layout, single_core_layout
+from .options import RunOptions, SynthesisOptions
 from .pipeline import synthesize_layout
 
 
@@ -84,6 +85,7 @@ class AdaptiveExecutable:
         config: Optional[AnnealConfig] = None,
         hints: Optional[Dict[str, str]] = None,
         resilience: Optional[ResilienceConfig] = None,
+        workers: int = 1,
     ):
         self.compiled = compiled
         self.num_cores = num_cores
@@ -93,6 +95,8 @@ class AdaptiveExecutable:
         self.config = config
         self.hints = hints
         self.resilience = resilience
+        #: worker processes for each in-field re-optimization's search
+        self.workers = workers
         #: current layout information — starts conservative (single core),
         #: like a freshly shipped executable with no field data yet
         self.layout: Layout = single_core_layout(compiled)
@@ -128,8 +132,7 @@ class AdaptiveExecutable:
             self.compiled,
             self.layout,
             args,
-            config=machine_config,
-            collect_profile=collect,
+            options=RunOptions(machine=machine_config, collect_profile=collect),
         )
         if collect and result.profile is not None:
             self._last_profile = result.profile
@@ -180,9 +183,14 @@ class AdaptiveExecutable:
             self.compiled,
             profile,
             self.num_cores,
-            seed=self.seed + len(self.history),
-            config=self.config,
-            hints=self.hints,
+            # Each re-optimization starts a fresh simulation cache: the
+            # field profile changed, so memoized scores would be stale.
+            options=SynthesisOptions(
+                seed=self.seed + len(self.history),
+                anneal=self.config,
+                hints=self.hints,
+                workers=self.workers,
+            ),
         )
         old_estimate = estimate_layout(
             self.compiled, self.layout, profile, hints=self.hints

@@ -2,13 +2,24 @@
 
 Typical use::
 
-    from repro.core.api import compile_program, profile_program, run_layout
-    from repro.schedule.layout import Layout
+    from repro import (
+        RunOptions, SynthesisOptions,
+        compile_program, profile_program, run_layout, synthesize_layout,
+    )
 
     compiled = compile_program(source)
     profile = profile_program(compiled, args=["8"])          # 1-core bootstrap
-    layout, report = synthesize_layout(compiled, profile, num_cores=62)
-    result = run_layout(compiled, layout, args=["8"])        # many-core run
+    report = synthesize_layout(
+        compiled, profile, num_cores=62,
+        options=SynthesisOptions(workers=4),                 # parallel search
+    )
+    result = run_layout(compiled, report.layout, args=["8"]) # many-core run
+
+Run-time behaviour (fault injection, resilience, observability, sinks) is
+configured through :class:`RunOptions`; search-time behaviour (anneal
+schedule, hints, workers, simulation cache) through
+:class:`SynthesisOptions`. The pre-options keyword arguments still work
+but raise ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from ..runtime.profiler import ProfileData
 from ..schedule.layout import Layout
 from ..sema.symbols import ProgramInfo
 from ..sema.typecheck import analyze
+from .options import RunOptions, _UNSET, warn_deprecated_kwargs
 
 
 @dataclass
@@ -95,14 +107,63 @@ def run_layout(
     compiled: CompiledProgram,
     layout: Layout,
     args: Sequence[str],
-    config: Optional[MachineConfig] = None,
-    collect_profile: bool = False,
+    options: Optional[RunOptions] = None,
+    config=_UNSET,
+    collect_profile=_UNSET,
 ) -> MachineResult:
-    """Executes the program on the many-core machine under ``layout``."""
+    """Executes the program on the many-core machine under ``layout``.
+
+    Run behaviour (faults, resilience, observability, profile collection,
+    trace/metrics sinks) comes from ``options``; when ``trace_path`` or
+    ``metrics_path`` is set the run is observed and the sink written
+    before returning — the CLI and the library share this one code path.
+
+    ``config=``/``collect_profile=`` are the pre-:class:`RunOptions`
+    spelling, kept as a deprecated shim.
+    """
+    legacy = {}
+    if config is not _UNSET:
+        legacy["config"] = config
+    if collect_profile is not _UNSET:
+        legacy["collect_profile"] = collect_profile
+    if legacy:
+        warn_deprecated_kwargs("run_layout", "RunOptions", legacy)
+        if options is not None:
+            raise TypeError(
+                "run_layout() takes either options= or the deprecated "
+                "config=/collect_profile= keywords, not both"
+            )
+        options = RunOptions(
+            machine=legacy.get("config"),
+            collect_profile=bool(legacy.get("collect_profile", False)),
+        )
+    options = options or RunOptions()
     machine = ManyCoreMachine(
-        compiled, layout, config=config, collect_profile=collect_profile
+        compiled,
+        layout,
+        config=options.machine_config(),
+        collect_profile=options.collect_profile,
     )
-    return machine.run(args)
+    result = machine.run(args)
+    _write_run_sinks(result, options)
+    return result
+
+
+def _write_run_sinks(result: MachineResult, options: RunOptions) -> None:
+    """Writes the trace/metrics sinks an observed run asked for."""
+    if options.trace_path and result.events is not None:
+        from ..obs import write_chrome_trace
+
+        write_chrome_trace(
+            options.trace_path,
+            result.events,
+            sorted(result.core_busy),
+            makespan=result.total_cycles,
+        )
+    if options.metrics_path and result.metrics is not None:
+        from ..obs import write_metrics_snapshot
+
+        write_metrics_snapshot(options.metrics_path, result.metrics)
 
 
 def profile_program(
@@ -113,7 +174,9 @@ def profile_program(
     """Collects the profile that bootstraps synthesis (single-core unless a
     layout is given — the paper supports both, §4.3.1)."""
     layout = layout or single_core_layout(compiled)
-    result = run_layout(compiled, layout, args, collect_profile=True)
+    result = run_layout(
+        compiled, layout, args, options=RunOptions(collect_profile=True)
+    )
     assert result.profile is not None
     return result.profile
 

@@ -3,6 +3,12 @@
 This mirrors the staged strategy of paper §4: dependence and disjointness
 analysis happen at :func:`repro.core.api.compile_program` time; this module
 drives candidate generation, simulation-based evaluation, and optimization.
+
+Search behaviour is configured through :class:`repro.SynthesisOptions`:
+``workers=N`` fans candidate simulations out across worker processes
+(bit-identical to the serial search), ``sim_cache`` memoizes simulation
+results by layout fingerprint, and the cache counters export through the
+:mod:`repro.obs` metrics pipeline (``report.search_metrics``).
 """
 
 from __future__ import annotations
@@ -12,11 +18,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..runtime.profiler import ProfileData
-from ..schedule.anneal import AnnealConfig, AnnealResult, DirectedSimulatedAnnealing
+from ..schedule.anneal import AnnealResult, DirectedSimulatedAnnealing
 from ..schedule.coregroup import GroupGraph, build_group_graph
 from ..schedule.layout import Layout
 from ..schedule.rules import ReplicaSuggestion, suggest_replicas
 from .api import CompiledProgram, annotated_cstg
+from .options import SynthesisOptions, _UNSET, warn_deprecated_kwargs
 
 
 @dataclass
@@ -25,50 +32,106 @@ class SynthesisReport:
 
     layout: Layout
     estimated_cycles: int
+    #: real simulations performed (cache hits are free)
     evaluations: int
     iterations: int
     wall_seconds: float
     group_graph: GroupGraph
     suggestions: Dict[int, ReplicaSuggestion]
     history: List[int] = field(default_factory=list)
+    #: evaluation requests answered by the simulation cache
+    cache_hits: int = 0
+    #: all evaluation requests: ``evaluations + cache_hits``
+    requested_evaluations: int = 0
+    #: simulations stopped early by the incumbent cutoff
+    pruned_evaluations: int = 0
+    #: search telemetry snapshot (``repro.obs/search-metrics-v1``)
+    search_metrics: Dict[str, object] = field(default_factory=dict)
 
 
 def synthesize_layout(
     compiled: CompiledProgram,
     profile: ProfileData,
     num_cores: int,
-    seed: int = 0,
-    config: Optional[AnnealConfig] = None,
-    hints: Optional[Dict[str, str]] = None,
-    mesh_width: Optional[int] = None,
-    core_speeds: Optional[Dict[int, float]] = None,
+    options: Optional[SynthesisOptions] = None,
+    seed=_UNSET,
+    config=_UNSET,
+    hints=_UNSET,
+    mesh_width=_UNSET,
+    core_speeds=_UNSET,
 ) -> SynthesisReport:
     """Synthesizes an optimized layout for ``num_cores`` cores.
 
     Runs candidate generation seeded by the transformation rules, then the
     directed-simulated-annealing search evaluated by the scheduling
-    simulator. ``core_speeds`` enables the heterogeneous-cores extension:
-    the search sees per-core speed factors and steers work accordingly.
+    simulator. All knobs live on :class:`SynthesisOptions`;
+    ``options.core_speeds`` enables the heterogeneous-cores extension and
+    ``options.workers``/``options.sim_cache`` the parallel, memoized
+    search. The ``seed=``/``config=``/``hints=``/``mesh_width=``/
+    ``core_speeds=`` keywords are the pre-options spelling, kept as a
+    deprecated shim.
     """
+    legacy = {
+        name: value
+        for name, value in (
+            ("seed", seed),
+            ("config", config),
+            ("hints", hints),
+            ("mesh_width", mesh_width),
+            ("core_speeds", core_speeds),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        warn_deprecated_kwargs("synthesize_layout", "SynthesisOptions", legacy)
+        if options is not None:
+            raise TypeError(
+                "synthesize_layout() takes either options= or the "
+                "deprecated seed=/config=/hints=/mesh_width=/core_speeds= "
+                "keywords, not both"
+            )
+        options = SynthesisOptions(
+            # The old signature always forced config.seed = seed (default 0).
+            seed=legacy.get("seed", 0),
+            anneal=legacy.get("config"),
+            hints=legacy.get("hints"),
+            mesh_width=legacy.get("mesh_width"),
+            core_speeds=legacy.get("core_speeds"),
+        )
+    options = options or SynthesisOptions()
+
     started = _time.perf_counter()
     cstg = annotated_cstg(compiled, profile)
     graph = build_group_graph(compiled.info, cstg, profile)
     suggestions = suggest_replicas(compiled.info, graph, profile, num_cores)
-    if config is None:
-        config = AnnealConfig(seed=seed)
-    else:
-        config.seed = seed
+
+    from ..obs.metrics import MetricsRegistry, build_search_metrics
+    from ..search import SimCache
+
+    registry = options.metrics if options.metrics is not None else MetricsRegistry()
+    cache = options.cache
+    if cache is None and options.sim_cache:
+        cache = SimCache(max_entries=options.cache_entries, registry=registry)
+    elif cache is not None and cache.registry is None:
+        cache.registry = registry
+
     dsa = DirectedSimulatedAnnealing(
         compiled,
         profile,
         num_cores,
-        config=config,
-        hints=hints,
+        config=options.effective_anneal(),
+        hints=options.hints,
         group_graph=graph,
-        mesh_width=mesh_width,
-        core_speeds=core_speeds,
+        mesh_width=options.mesh_width,
+        core_speeds=options.core_speeds,
+        cache=cache,
+        workers=options.workers,
+        use_cache=options.sim_cache,
     )
-    result: AnnealResult = dsa.run()
+    try:
+        result: AnnealResult = dsa.run()
+    finally:
+        dsa.close()
     wall = _time.perf_counter() - started
     return SynthesisReport(
         layout=result.best_layout,
@@ -79,4 +142,16 @@ def synthesize_layout(
         group_graph=graph,
         suggestions=suggestions,
         history=result.history,
+        cache_hits=result.cache_hits,
+        requested_evaluations=result.requested_evaluations,
+        pruned_evaluations=result.pruned_evaluations,
+        search_metrics=build_search_metrics(
+            workers=options.workers,
+            wall_seconds=wall,
+            evaluations=result.evaluations,
+            cache_hits=result.cache_hits,
+            pruned_evaluations=result.pruned_evaluations,
+            cache_stats=result.cache_stats,
+            registry=registry,
+        ),
     )

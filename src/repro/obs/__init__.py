@@ -28,13 +28,19 @@ from .export import (
     write_chrome_trace,
     write_metrics_snapshot,
 )
-from .metrics import MetricsRegistry, build_metrics, cycle_accounting
+from .metrics import (
+    MetricsRegistry,
+    build_metrics,
+    build_search_metrics,
+    cycle_accounting,
+)
 
 __all__ = [
     "Event",
     "MetricsRegistry",
     "Tracer",
     "build_metrics",
+    "build_search_metrics",
     "chrome_trace",
     "cycle_accounting",
     "legacy_line",

@@ -55,6 +55,7 @@ from .events import (
 )
 
 SCHEMA = "repro.obs/metrics-v1"
+SEARCH_SCHEMA = "repro.obs/search-metrics-v1"
 
 
 class Counter:
@@ -156,6 +157,46 @@ class MetricsRegistry:
                 for name, histogram in sorted(self.histograms.items())
             },
         }
+
+
+# -- layout-search metrics -----------------------------------------------------
+
+
+def build_search_metrics(
+    *,
+    workers: int,
+    wall_seconds: float,
+    evaluations: int,
+    cache_hits: int,
+    pruned_evaluations: int,
+    cache_stats: Optional[Dict[str, object]],
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """The JSON-ready metrics snapshot of one layout-search run.
+
+    The synthesis pipeline calls this with the :mod:`repro.search`
+    counters (real simulations, cache hits/misses/evictions, early
+    cutoffs) so search telemetry exports through the same pipeline as
+    machine metrics — :func:`repro.obs.write_metrics_snapshot` accepts
+    either snapshot. When a registry is given, its instruments (e.g. the
+    ``sim_cache_*`` counters a :class:`repro.search.SimCache` maintains)
+    are folded into the snapshot.
+    """
+    requested = evaluations + cache_hits
+    snapshot: Dict[str, object] = {
+        "schema": SEARCH_SCHEMA,
+        "workers": workers,
+        "wall_seconds": wall_seconds,
+        "evaluations": evaluations,
+        "cache_hits": cache_hits,
+        "requested_evaluations": requested,
+        "pruned_evaluations": pruned_evaluations,
+        "cache_hit_rate": cache_hits / requested if requested else 0.0,
+        "sim_cache": cache_stats,
+    }
+    if registry is not None:
+        snapshot.update(registry.snapshot())
+    return snapshot
 
 
 # -- cycle accounting ----------------------------------------------------------

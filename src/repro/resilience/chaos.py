@@ -186,6 +186,7 @@ def run_chaos(
     verdicts so callers (tests, the ``--chaos`` CLI) decide how to fail.
     """
     from ..core.api import run_layout
+    from ..core.options import RunOptions
 
     resilience = resilience if resilience is not None else ResilienceConfig()
     resilience.validate()
@@ -206,7 +207,9 @@ def run_chaos(
             validate=True,
         )
         try:
-            result = run_layout(compiled, layout, args, config=config)
+            result = run_layout(
+                compiled, layout, args, options=RunOptions(machine=config)
+            )
         except Exception as exc:  # noqa: BLE001 - verdict, not control flow
             run.error = f"{type(exc).__name__}: {exc}"
             report_runs.append(run)
@@ -235,11 +238,14 @@ def _check_control(
     machine.
     """
     from ..core.api import run_layout
+    from ..core.options import RunOptions
     from dataclasses import replace
 
     disabled = replace(resilience, enabled=False)
     config = MachineConfig(fault_plan=None, resilience=disabled)
-    control = run_layout(compiled, layout, args, config=config)
+    control = run_layout(
+        compiled, layout, args, options=RunOptions(machine=config)
+    )
     if control != baseline:
         run.violations.append(
             "resilience disabled is not bit-identical to the baseline"

@@ -7,6 +7,16 @@ spawns new candidates implementing the suggested migrations. The loop stops
 at diminishing returns, with a probabilistic chance to keep searching past a
 local maximum. Setting ``use_critical_path=False`` degenerates to plain
 undirected annealing (random moves only) — the ablation baseline.
+
+Candidate evaluation is delegated to :mod:`repro.search`: each iteration's
+candidate set is scored as one batch through an
+:class:`~repro.search.Evaluator` (serial in process, or fanned out across
+worker processes — bit-identical either way), memoized in a
+:class:`~repro.search.SimCache` keyed by exact layout fingerprint, and
+optionally cut off early once a candidate's simulated clock passes the
+incumbent best (``AnnealConfig.early_cutoff``). Cache hits do **not**
+consume the ``max_evaluations`` budget — only real simulations do; both
+tallies are reported on :class:`AnnealResult`.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.api import CompiledProgram
+    from ..search import Evaluator, SimCache
 
 from ..lang.errors import ScheduleError
 from ..runtime.profiler import ProfileData
@@ -32,7 +43,7 @@ from .mapping import (
     with_instance_moved,
 )
 from .rules import replica_choice_sets, suggest_replicas
-from .simulator import SchedulingSimulator, SimResult
+from .simulator import SimResult
 
 
 @dataclass
@@ -46,18 +57,33 @@ class AnnealConfig:
     patience: int = 2
     continue_probability: float = 0.75
     max_iterations: int = 40
+    #: real simulations only — cache hits are free (see AnnealResult)
     max_evaluations: int = 600
     use_critical_path: bool = True
+    #: stop a candidate's simulation as soon as its clock passes the
+    #: incumbent best entering the iteration (the candidate already lost).
+    #: Off by default: pruned candidates carry truncated traces, which
+    #: perturbs the critical-path move suggestions for kept-poor layouts.
+    early_cutoff: bool = False
 
 
 @dataclass
 class AnnealResult:
     best_layout: Layout
     best_cycles: int
+    #: real simulations performed (what ``max_evaluations`` budgets)
     evaluations: int
     iterations: int
     history: List[int] = field(default_factory=list)  # best estimate per iter
     initial_layouts: List[Layout] = field(default_factory=list)
+    #: evaluation requests answered from the simulation cache
+    cache_hits: int = 0
+    #: all evaluation requests: ``evaluations + cache_hits``
+    requested_evaluations: int = 0
+    #: simulations stopped early by the incumbent cutoff
+    pruned_evaluations: int = 0
+    #: snapshot of the simulation cache counters (None with the cache off)
+    cache_stats: Optional[Dict[str, object]] = None
 
 
 class DirectedSimulatedAnnealing:
@@ -73,6 +99,10 @@ class DirectedSimulatedAnnealing:
         group_graph: Optional[GroupGraph] = None,
         mesh_width: Optional[int] = None,
         core_speeds: Optional[Dict[int, float]] = None,
+        evaluator: Optional["Evaluator"] = None,
+        cache: Optional["SimCache"] = None,
+        workers: int = 1,
+        use_cache: bool = True,
     ):
         self.compiled = compiled
         self.profile = profile
@@ -88,30 +118,41 @@ class DirectedSimulatedAnnealing:
             cstg = annotated_cstg(compiled, profile)
             group_graph = build_group_graph(compiled.info, cstg, profile)
         self.graph = group_graph
-        self._cache: Dict[Tuple, Tuple[int, SimResult]] = {}
+        from ..search import SimCache, make_evaluator
+
+        if cache is None and use_cache:
+            cache = SimCache()
+        self.cache = cache if use_cache else None
+        self._owns_evaluator = evaluator is None
+        if evaluator is None:
+            evaluator = make_evaluator(
+                compiled,
+                profile,
+                hints=hints,
+                core_speeds=core_speeds,
+                cache=self.cache,
+                workers=workers,
+            )
+        self.evaluator = evaluator
         self.evaluations = 0
+        self.cache_hits = 0
+        self.pruned_evaluations = 0
+
+    def close(self) -> None:
+        """Releases the evaluator's workers, if this search created them."""
+        if self._owns_evaluator:
+            self.evaluator.close()
 
     # -- evaluation ---------------------------------------------------------------
 
     def evaluate(self, layout: Layout) -> Tuple[int, SimResult]:
-        if self.core_speeds:
-            # Heterogeneous cores break core-renaming symmetry: the exact
-            # assignment matters, so cache on it.
-            key: Tuple = layout.instances
-        else:
-            key = (layout.canonical_key(), tuple(layout.cores_used()))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        self.evaluations += 1
-        sim = SchedulingSimulator(
-            self.compiled, layout, self.profile, hints=self.hints,
-            core_speeds=self.core_speeds,
-        )
-        result = sim.run()
-        cycles = result.total_cycles if result.finished else 1 << 62
-        self._cache[key] = (cycles, result)
-        return cycles, result
+        """Scores one layout (budget-free convenience used by tests and the
+        Figure 10 driver; the main loop scores whole batches)."""
+        outcome = self.evaluator.evaluate([layout])
+        self.evaluations += outcome.simulations
+        self.cache_hits += outcome.cache_hits
+        scored = outcome.scored[0]
+        return scored.cycles, scored.result
 
     # -- neighbor generation ----------------------------------------------------------
 
@@ -205,12 +246,27 @@ class DirectedSimulatedAnnealing:
 
         while iterations < config.max_iterations:
             iterations += 1
-            scored: List[Tuple[int, Layout, SimResult]] = []
-            for layout in candidates:
-                cycles, result = self.evaluate(layout)
-                scored.append((cycles, layout, result))
-                if self.evaluations >= config.max_evaluations:
-                    break
+            # Score the whole candidate set as one batch. The cutoff is the
+            # incumbent best *entering* the iteration — fixed for the batch,
+            # so the outcome cannot depend on evaluation order or worker
+            # count. Budget counts real simulations only.
+            cutoff = (
+                best_cycles
+                if config.early_cutoff and best_cycles < (1 << 62)
+                else None
+            )
+            outcome = self.evaluator.evaluate(
+                candidates,
+                cutoff=cutoff,
+                budget=config.max_evaluations - self.evaluations,
+            )
+            self.evaluations += outcome.simulations
+            self.cache_hits += outcome.cache_hits
+            self.pruned_evaluations += outcome.pruned
+            scored: List[Tuple[int, Layout, SimResult]] = [
+                (item.cycles, item.layout, item.result)
+                for item in outcome.scored
+            ]
             scored.sort(key=lambda item: item[0])
             improved = scored and scored[0][0] < best_cycles
             if improved:
@@ -267,6 +323,10 @@ class DirectedSimulatedAnnealing:
             iterations=iterations,
             history=history,
             initial_layouts=initial_snapshot,
+            cache_hits=self.cache_hits,
+            requested_evaluations=self.evaluations + self.cache_hits,
+            pruned_evaluations=self.pruned_evaluations,
+            cache_stats=self.cache.stats() if self.cache is not None else None,
         )
 
 
@@ -279,10 +339,17 @@ def directed_simulated_annealing(
     initial: Optional[List[Layout]] = None,
     mesh_width: Optional[int] = None,
     core_speeds: Optional[Dict[int, float]] = None,
+    workers: int = 1,
+    cache: Optional["SimCache"] = None,
+    use_cache: bool = True,
 ) -> AnnealResult:
     """Runs DSA and returns the best layout found."""
     dsa = DirectedSimulatedAnnealing(
         compiled, profile, num_cores, config=config, hints=hints,
         mesh_width=mesh_width, core_speeds=core_speeds,
+        workers=workers, cache=cache, use_cache=use_cache,
     )
-    return dsa.run(initial)
+    try:
+        return dsa.run(initial)
+    finally:
+        dsa.close()

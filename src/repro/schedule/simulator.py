@@ -100,6 +100,10 @@ class SimResult:
     #: fraction of core-time spent busy — the paper's fallback metric for
     #: profiles that do not terminate
     utilization: float
+    #: the run stopped at an early cutoff: ``total_cycles`` is a *lower
+    #: bound* on the true makespan, sufficient to rank the layout worse
+    #: than the incumbent that set the cutoff
+    pruned: bool = False
 
     def events_on_core(self, core: int) -> List[TraceEvent]:
         return sorted(
@@ -194,6 +198,7 @@ class SchedulingSimulator:
         max_events: int = 2_000_000,
         exit_policy: str = "sequence",
         core_speeds: Optional[Dict[int, float]] = None,
+        cutoff: Optional[int] = None,
     ):
         layout.validate(compiled.info)
         self.core_speeds = core_speeds
@@ -204,6 +209,9 @@ class SchedulingSimulator:
         self.router = Router(compiled.info, layout)
         self.chooser = ExitChooser(profile, hints, policy=exit_policy)
         self.max_events = max_events
+        #: stop simulating once the clock passes this cycle (the incumbent
+        #: best of a search): the layout is already known to lose
+        self.cutoff = cutoff
 
         self._events: List[Tuple[int, int, str, tuple]] = []
         self._seq = 0
@@ -258,6 +266,7 @@ class SchedulingSimulator:
 
         processed = 0
         finished = True
+        pruned = False
         last_time = costs.RUNTIME_INIT_COST
         while self._events:
             processed += 1
@@ -265,6 +274,12 @@ class SchedulingSimulator:
                 finished = False
                 break
             time, _, kind, payload = heapq.heappop(self._events)
+            if self.cutoff is not None and time > self.cutoff:
+                # Every remaining event is at or past this one, so the true
+                # makespan exceeds the cutoff — the incumbent already wins.
+                pruned = True
+                last_time = max(last_time, time)
+                break
             last_time = max(last_time, time)
             if kind == "arrive":
                 core, task, param_index, entry = payload
@@ -286,6 +301,7 @@ class SchedulingSimulator:
             core_busy=dict(self.core_busy),
             invocations=dict(self.invocations),
             utilization=utilization,
+            pruned=pruned,
         )
 
     # -- arrivals & invocation formation -----------------------------------------

@@ -1,0 +1,45 @@
+"""Parallel, memoized layout search — the batch evaluation engine behind
+directed simulated annealing (:mod:`repro.schedule.anneal`).
+
+The DSA loop (paper §4.5) spends essentially all of its wall-clock time
+in *independent* candidate simulations and re-visits layouts constantly.
+This package factors the evaluation out of the annealer into:
+
+* an :class:`Evaluator` protocol with a serial backend and a
+  process-pool backend (``workers=N`` is bit-identical to ``workers=1``
+  by construction — see :mod:`repro.search.evaluator` for the batch
+  contract that guarantees it),
+* a :class:`SimCache` memoizing simulation results by exact layout
+  fingerprint across iterations, restarts, and (when shared) whole
+  synthesis runs, with hit/miss/eviction counters surfaced through
+  :mod:`repro.obs` metrics and :class:`repro.schedule.anneal.AnnealResult`,
+  and
+* early cutoff: a candidate whose simulated clock passes the incumbent
+  best stops immediately (``AnnealConfig.early_cutoff``).
+
+The user-facing switchboard is :class:`repro.SynthesisOptions`
+(``workers=``, ``sim_cache=``, ``cache=``, ``cache_entries=``).
+"""
+
+from .cache import CacheEntry, SimCache
+from .evaluator import (
+    BatchOutcome,
+    Evaluator,
+    INFEASIBLE_CYCLES,
+    ParallelEvaluator,
+    ScoredLayout,
+    SerialEvaluator,
+    make_evaluator,
+)
+
+__all__ = [
+    "BatchOutcome",
+    "CacheEntry",
+    "Evaluator",
+    "INFEASIBLE_CYCLES",
+    "ParallelEvaluator",
+    "ScoredLayout",
+    "SerialEvaluator",
+    "SimCache",
+    "make_evaluator",
+]

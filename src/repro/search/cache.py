@@ -1,0 +1,146 @@
+"""Simulation memoization for the layout search (:mod:`repro.search`).
+
+The DSA loop re-visits layouts constantly — kept candidates are re-scored
+every iteration, random restarts regenerate earlier layouts, and field
+re-optimization re-synthesizes against similar profiles. Each visit costs
+a full scheduling simulation. :class:`SimCache` memoizes ``SimResult``s
+keyed by the exact layout fingerprint
+(:func:`repro.schedule.mapping.layout_fingerprint`), so a layout is
+simulated at most once per (profile, hints, speeds) context — across
+iterations, across restarts, and (when one cache instance is shared)
+across whole synthesis runs.
+
+Entries produced under an early cutoff are *lower bounds*: the simulation
+stopped as soon as the clock passed the incumbent best. A bound entry
+satisfies a later lookup only if it still proves the layout loses at that
+lookup's cutoff; otherwise it counts as a miss and the layout is
+re-simulated (and the entry upgraded).
+
+Hit / miss / eviction / bound-upgrade counts are kept both as plain
+integers and, when a :class:`repro.obs.MetricsRegistry` is attached, as
+``sim_cache_*`` counters so they export through the observability
+pipeline alongside machine metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+    from ..schedule.simulator import SimResult
+
+
+@dataclass
+class CacheEntry:
+    """One memoized simulation outcome."""
+
+    cycles: int
+    result: "SimResult"
+    #: the entry is a lower bound (simulation stopped at an early cutoff)
+    pruned: bool = False
+
+
+class SimCache:
+    """An LRU-bounded memo of layout-fingerprint → simulation outcome."""
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: misses caused by a bound entry that could not answer the lookup
+        self.bound_misses = 0
+        self.registry = registry
+
+    # -- instrumentation -----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(f"sim_cache_{name}").inc()
+
+    # -- the memo ------------------------------------------------------------
+
+    def get(
+        self, fingerprint: str, cutoff: Optional[int] = None
+    ) -> Optional[CacheEntry]:
+        """Returns the entry for ``fingerprint`` if it can answer a lookup
+        evaluated under ``cutoff``, else ``None`` (a miss).
+
+        An exact entry always answers. A bound entry (pruned at some
+        earlier cutoff, observed total ``cycles``) answers only when the
+        current cutoff is still below its observed total — then the true
+        makespan provably exceeds the cutoff and the layout loses without
+        re-simulation.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            self._count("misses")
+            return None
+        if entry.pruned and (cutoff is None or cutoff >= entry.cycles):
+            # The bound no longer proves anything: the caller needs either
+            # the exact value or a deeper bound. Re-simulate.
+            self.misses += 1
+            self.bound_misses += 1
+            self._count("misses")
+            self._count("bound_misses")
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        self._count("hits")
+        return entry
+
+    def put(self, fingerprint: str, entry: CacheEntry) -> None:
+        existing = self._entries.get(fingerprint)
+        if existing is not None and not existing.pruned and entry.pruned:
+            # Never downgrade an exact result to a bound.
+            return
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of the cache counters."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bound_misses": self.bound_misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

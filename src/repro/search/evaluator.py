@@ -1,0 +1,338 @@
+"""Batch layout evaluation: the engine behind the DSA loop.
+
+The annealer's wall-clock cost is almost entirely independent candidate
+simulations, so evaluation is exposed as a *batch* operation with two
+interchangeable backends:
+
+* :class:`SerialEvaluator` — simulates in order, in process; and
+* :class:`ParallelEvaluator` — fans the batch out across a
+  ``ProcessPoolExecutor``.
+
+Both implement the :class:`Evaluator` protocol and obey the same batch
+contract, which is what makes ``workers=N`` bit-identical to
+``workers=1`` (test-enforced, like the fault/resilience/obs off-modes):
+
+1. Layouts are fingerprinted and looked up in the (optional)
+   :class:`~repro.search.cache.SimCache` **in input order**.
+2. A cache miss consumes one unit of the simulation ``budget``; the first
+   miss that would exceed the budget stops the batch — layouts from that
+   position on are left unscored, exactly as the serial backend would
+   have left them.
+3. Misses are simulated under the batch's fixed ``cutoff`` (the incumbent
+   best *entering* the batch — never updated mid-batch, so the outcome
+   cannot depend on completion order or worker count).
+4. Results are reduced **by input position**, not completion order.
+
+Simulation itself is deterministic (the exit chooser is a deterministic
+replay of the profile; all randomness lives in the annealer, in the
+parent process), so the only sources of order dependence are the cache
+and cutoff policies — which the contract pins down.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+try:  # pragma: no cover - exercised only where Protocol is available
+    from typing import Protocol
+except ImportError:  # pragma: no cover - py3.7 fallback
+    Protocol = object  # type: ignore[assignment]
+
+from ..schedule.layout import Layout
+from ..schedule.mapping import layout_fingerprint
+from ..schedule.simulator import SchedulingSimulator, SimResult
+from .cache import CacheEntry, SimCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import CompiledProgram
+    from ..runtime.profiler import ProfileData
+
+#: Sentinel cycle count for simulations that did not finish — worse than
+#: any real layout, so unfinishable candidates always rank last.
+INFEASIBLE_CYCLES = 1 << 62
+
+
+@dataclass
+class ScoredLayout:
+    """One scored candidate of a batch."""
+
+    layout: Layout
+    cycles: int
+    result: SimResult
+    from_cache: bool = False
+
+
+@dataclass
+class BatchOutcome:
+    """The scored prefix of one batch, plus its accounting."""
+
+    scored: List[ScoredLayout] = field(default_factory=list)
+    #: real simulations performed (the unit ``max_evaluations`` budgets)
+    simulations: int = 0
+    cache_hits: int = 0
+    #: simulations stopped early by the cutoff
+    pruned: int = 0
+
+
+class Evaluator(Protocol):
+    """Anything that can score a batch of candidate layouts."""
+
+    def evaluate(
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> BatchOutcome:
+        """Scores ``layouts`` under the batch contract above."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Releases backend resources (worker processes)."""
+        ...  # pragma: no cover - protocol
+
+
+def _score(result: SimResult) -> int:
+    return result.total_cycles if result.finished else INFEASIBLE_CYCLES
+
+
+class _EvaluatorBase:
+    """Cache bookkeeping and batch planning shared by both backends."""
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        profile: "ProfileData",
+        hints: Optional[Dict[str, str]] = None,
+        core_speeds: Optional[Dict[int, float]] = None,
+        cache: Optional[SimCache] = None,
+    ):
+        self.compiled = compiled
+        self.profile = profile
+        self.hints = hints
+        self.core_speeds = core_speeds
+        self.cache = cache
+
+    def fingerprint(self, layout: Layout) -> str:
+        return layout_fingerprint(layout, self.core_speeds)
+
+    def _plan(
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int],
+        budget: Optional[int],
+    ) -> Tuple[List[Tuple[int, Layout, Optional[CacheEntry], str]], int]:
+        """Walks the batch in order, resolving cache hits and selecting the
+        misses to simulate. Returns ``(plan, hits)`` where each plan item
+        is ``(position, layout, entry-or-None, fingerprint)``; the plan
+        stops at the first miss the budget cannot cover."""
+        plan: List[Tuple[int, Layout, Optional[CacheEntry], str]] = []
+        hits = 0
+        misses = 0
+        for position, layout in enumerate(layouts):
+            fingerprint = self.fingerprint(layout)
+            entry = (
+                self.cache.get(fingerprint, cutoff)
+                if self.cache is not None
+                else None
+            )
+            if entry is None:
+                if budget is not None and misses >= budget:
+                    break
+                misses += 1
+            else:
+                hits += 1
+            plan.append((position, layout, entry, fingerprint))
+        return plan, hits
+
+    def _record(
+        self, fingerprint: str, result: SimResult
+    ) -> CacheEntry:
+        entry = CacheEntry(
+            cycles=_score(result), result=result, pruned=result.pruned
+        )
+        if self.cache is not None:
+            self.cache.put(fingerprint, entry)
+        return entry
+
+    def evaluate(
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> BatchOutcome:
+        plan, hits = self._plan(layouts, cutoff, budget)
+        outcome = BatchOutcome(cache_hits=hits)
+        miss_indices = [
+            index for index, item in enumerate(plan) if item[2] is None
+        ]
+        results = self._simulate(
+            [plan[index][1] for index in miss_indices], cutoff
+        )
+        for index, result in zip(miss_indices, results):
+            outcome.simulations += 1
+            if result.pruned:
+                outcome.pruned += 1
+            position, layout, _, fingerprint = plan[index]
+            plan[index] = (
+                position, layout, self._record(fingerprint, result), fingerprint
+            )
+        simulated = set(miss_indices)
+        for index, (_, layout, entry, _) in enumerate(plan):
+            assert entry is not None
+            outcome.scored.append(
+                ScoredLayout(
+                    layout=layout,
+                    cycles=entry.cycles,
+                    result=entry.result,
+                    from_cache=index not in simulated,
+                )
+            )
+        return outcome
+
+    # -- backend hooks -------------------------------------------------------
+
+    def _simulate(
+        self, layouts: Sequence[Layout], cutoff: Optional[int]
+    ) -> List[SimResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Nothing to release by default."""
+
+
+class SerialEvaluator(_EvaluatorBase):
+    """In-process, in-order evaluation — the reference backend."""
+
+    def _simulate(
+        self, layouts: Sequence[Layout], cutoff: Optional[int]
+    ) -> List[SimResult]:
+        return [
+            SchedulingSimulator(
+                self.compiled,
+                layout,
+                self.profile,
+                hints=self.hints,
+                core_speeds=self.core_speeds,
+                cutoff=cutoff,
+            ).run()
+            for layout in layouts
+        ]
+
+
+# -- process-pool backend ------------------------------------------------------
+
+#: Per-worker simulation context, installed by the pool initializer.
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def _init_worker(compiled, profile, hints, core_speeds) -> None:
+    _WORKER_CONTEXT["compiled"] = compiled
+    _WORKER_CONTEXT["profile"] = profile
+    _WORKER_CONTEXT["hints"] = hints
+    _WORKER_CONTEXT["core_speeds"] = core_speeds
+
+
+def _simulate_in_worker(layout: Layout, cutoff: Optional[int]) -> SimResult:
+    return SchedulingSimulator(
+        _WORKER_CONTEXT["compiled"],
+        layout,
+        _WORKER_CONTEXT["profile"],
+        hints=_WORKER_CONTEXT["hints"],
+        core_speeds=_WORKER_CONTEXT["core_speeds"],
+        cutoff=cutoff,
+    ).run()
+
+
+class ParallelEvaluator(_EvaluatorBase):
+    """Fans batch misses out across worker processes.
+
+    The compiled program and profile ship to each worker exactly once (via
+    the pool initializer); per-batch traffic is just layouts out and
+    ``SimResult``s back. Futures are collected in submission order, so the
+    reduction is independent of completion order and the outcome is
+    bit-identical to :class:`SerialEvaluator`.
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        profile: "ProfileData",
+        hints: Optional[Dict[str, str]] = None,
+        core_speeds: Optional[Dict[int, float]] = None,
+        cache: Optional[SimCache] = None,
+        workers: int = 2,
+    ):
+        super().__init__(
+            compiled, profile, hints=hints, core_speeds=core_speeds, cache=cache
+        )
+        if workers < 2:
+            raise ValueError(
+                "ParallelEvaluator needs workers >= 2; use SerialEvaluator"
+            )
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.compiled,
+                    self.profile,
+                    self.hints,
+                    self.core_speeds,
+                ),
+            )
+        return self._executor
+
+    def _simulate(
+        self, layouts: Sequence[Layout], cutoff: Optional[int]
+    ) -> List[SimResult]:
+        if not layouts:
+            return []
+        if len(layouts) == 1:
+            # Not worth a round trip; the serial path is bit-identical.
+            return SerialEvaluator._simulate(self, layouts, cutoff)
+        pool = self._pool()
+        futures = [
+            pool.submit(_simulate_in_worker, layout, cutoff)
+            for layout in layouts
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_evaluator(
+    compiled: "CompiledProgram",
+    profile: "ProfileData",
+    hints: Optional[Dict[str, str]] = None,
+    core_speeds: Optional[Dict[int, float]] = None,
+    cache: Optional[SimCache] = None,
+    workers: int = 1,
+) -> Evaluator:
+    """Builds the right backend for ``workers``."""
+    if workers > 1:
+        return ParallelEvaluator(
+            compiled,
+            profile,
+            hints=hints,
+            core_speeds=core_speeds,
+            cache=cache,
+            workers=workers,
+        )
+    return SerialEvaluator(
+        compiled, profile, hints=hints, core_speeds=core_speeds, cache=cache
+    )

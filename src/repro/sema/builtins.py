@@ -39,6 +39,13 @@ class BuiltinFunction:
     def key(self) -> str:
         return f"{self.qualifier}.{self.name}"
 
+    def __reduce__(self):
+        # The registry is a fixed table, but the ``impl`` lambdas are not
+        # picklable; serialize by key and rehydrate from the table so
+        # compiled programs can cross process boundaries (the parallel
+        # layout-search evaluator ships them to worker processes).
+        return (builtin_by_key, (self.key,))
+
 
 def _print_string(io, s):
     io.write(str(s))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import (
+    SynthesisOptions,
     annotated_cstg,
     compile_program,
     profile_program,
@@ -70,8 +71,7 @@ class TestSynthesis:
             continue_probability=0.1,
         )
         report = synthesize_layout(
-            keyword_compiled, keyword_profile, num_cores=4, seed=1, config=config
-        )
+            keyword_compiled, keyword_profile, num_cores=4, options=SynthesisOptions(seed=1, anneal=config))
         assert report.estimated_cycles > 0
         assert report.evaluations > 0
         assert report.wall_seconds >= 0
@@ -87,8 +87,7 @@ class TestSynthesis:
             continue_probability=0.1,
         )
         report = synthesize_layout(
-            keyword_compiled, keyword_profile, num_cores=4, seed=1, config=config
-        )
+            keyword_compiled, keyword_profile, num_cores=4, options=SynthesisOptions(seed=1, anneal=config))
         result = run_layout(keyword_compiled, report.layout, ["6"])
         single = run_layout(
             keyword_compiled, single_core_layout(keyword_compiled), ["6"]
@@ -117,7 +116,6 @@ class TestMultiCoreProfiling:
             patience=1, continue_probability=0.1,
         )
         report = synthesize_layout(
-            keyword_compiled, profile, num_cores=4, seed=2, config=config
-        )
+            keyword_compiled, profile, num_cores=4, options=SynthesisOptions(seed=2, anneal=config))
         result = run_layout(keyword_compiled, report.layout, ["6"])
         assert result.stdout == "total=12"

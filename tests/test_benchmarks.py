@@ -10,6 +10,7 @@ import pytest
 
 from repro.bench import PAPER_BENCHMARKS, benchmark_names, get_spec, load_benchmark
 from repro.core import (
+    SynthesisOptions,
     profile_program,
     run_layout,
     run_sequential,
@@ -57,7 +58,7 @@ def test_multi_core_matches_sequential(name):
         initial_candidates=3, max_iterations=4, max_evaluations=40, patience=1,
         continue_probability=0.1,
     )
-    report = synthesize_layout(compiled, profile, num_cores=8, seed=0, config=config)
+    report = synthesize_layout(compiled, profile, num_cores=8, options=SynthesisOptions(seed=0, anneal=config))
     many = run_layout(compiled, report.layout, args)
     assert many.stdout == seq.stdout
 

@@ -9,7 +9,7 @@ the same final state.
 import pytest
 
 from repro.bench import benchmark_names, load_benchmark
-from repro.core import run_layout, single_core_layout
+from repro.core import RunOptions, run_layout, single_core_layout
 from repro.fault import CoreCrash, FaultPlan, LinkDegrade, TransientStall
 from repro.runtime.machine import MachineConfig
 from repro.schedule.layout import Layout
@@ -52,8 +52,8 @@ class TestMachineDeterminism:
     def test_identical_runs_byte_identical(self, keyword_compiled):
         layout = quad_layout(keyword_compiled)
         config = MachineConfig(record_trace=True)
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert first.trace  # the trace actually recorded something
         assert fingerprint(first) == fingerprint(second)
 
@@ -62,8 +62,8 @@ class TestMachineDeterminism:
         compiled = load_benchmark(name)
         layout = single_core_layout(compiled)
         config = MachineConfig(record_trace=True)
-        first = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
-        second = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        first = run_layout(compiled, layout, SMALL_ARGS[name], options=RunOptions(machine=config))
+        second = run_layout(compiled, layout, SMALL_ARGS[name], options=RunOptions(machine=config))
         assert fingerprint(first) == fingerprint(second)
 
     def test_trace_off_by_default(self, keyword_compiled):
@@ -82,8 +82,8 @@ class TestFaultDeterminism:
             ]
         )
         config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert fingerprint(first) == fingerprint(second)
         assert first.recovery == second.recovery
         assert "crash core 1" in "\n".join(first.trace)
@@ -94,8 +94,7 @@ class TestFaultDeterminism:
         layout = quad_layout(keyword_compiled)
         plain = run_layout(keyword_compiled, layout, ["12"])
         gated = run_layout(
-            keyword_compiled, layout, ["12"], config=MachineConfig(fault_plan=None)
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(fault_plan=None)))
         assert fingerprint(plain) == fingerprint(gated)
 
     @pytest.mark.parametrize("name", ["Keyword", "MonteCarlo", "Series"])
@@ -109,8 +108,8 @@ class TestFaultDeterminism:
             [TransientStall(core=0, cycle=base.total_cycles // 2, duration=911)]
         )
         config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
-        first = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
-        second = run_layout(compiled, layout, SMALL_ARGS[name], config=config)
+        first = run_layout(compiled, layout, SMALL_ARGS[name], options=RunOptions(machine=config))
+        second = run_layout(compiled, layout, SMALL_ARGS[name], options=RunOptions(machine=config))
         assert fingerprint(first) == fingerprint(second)
         assert first.stdout == base.stdout
 
@@ -122,7 +121,7 @@ class TestFaultDeterminism:
                 seed=3, num_cores=4, horizon=3000, crashes=1, stalls=1
             )
             config = MachineConfig(fault_plan=plan, validate=True)
-            results.append(run_layout(keyword_compiled, layout, ["12"], config=config))
+            results.append(run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config)))
         assert fingerprint(results[0]) == fingerprint(results[1])
         assert results[0].recovery == results[1].recovery
         assert results[0].stdout == "total=24"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import run_layout, run_sequential
+from repro.core import RunOptions, run_layout, run_sequential
 from repro.fault import (
     CoreCrash,
     FaultError,
@@ -94,9 +94,7 @@ class TestZeroOverhead:
         gated = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(fault_plan=None, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=None, validate=True)))
         assert plain.total_cycles == gated.total_cycles
         assert plain.messages == gated.messages
         assert plain.invocations == gated.invocations
@@ -109,9 +107,7 @@ class TestZeroOverhead:
         gated = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(fault_plan=FaultPlan.make([])),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=FaultPlan.make([]))))
         assert plain.total_cycles == gated.total_cycles
         assert gated.recovery is None
 
@@ -124,9 +120,7 @@ class TestCrashRecovery:
         result = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         rec = result.recovery
         assert rec is not None
         assert rec.crashes == 1 and rec.dead_cores == [1]
@@ -175,9 +169,7 @@ class TestCrashRecovery:
             result = run_layout(
                 keyword_compiled,
                 layout,
-                ["12"],
-                config=MachineConfig(fault_plan=plan, validate=True),
-            )
+                ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
             assert result.stdout == "total=24"
             assert result.recovery.crashes == 1
 
@@ -188,9 +180,7 @@ class TestCrashRecovery:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.stdout == "total=24"
         assert result.recovery.dead_cores == [1, 2]
         assert result.recovery.exactly_once()
@@ -200,9 +190,7 @@ class TestCrashRecovery:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.stdout == "total=24"
         assert result.recovery.tasks_replayed == 0
 
@@ -213,9 +201,7 @@ class TestCrashRecovery:
         result = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.stdout == base.stdout
         assert result.invocations == base.invocations
 
@@ -226,9 +212,7 @@ class TestCrashRecovery:
             run_layout(
                 keyword_compiled,
                 layout,
-                ["12"],
-                config=MachineConfig(fault_plan=plan),
-            )
+                ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan)))
 
     def test_crash_of_unknown_core_rejected(self, keyword_compiled):
         plan = FaultPlan.single_crash(99, 100)
@@ -236,9 +220,7 @@ class TestCrashRecovery:
             run_layout(
                 keyword_compiled,
                 quad_layout(keyword_compiled),
-                ["12"],
-                config=MachineConfig(fault_plan=plan),
-            )
+                ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan)))
 
     def test_centralized_scheduler_unsupported(self, keyword_compiled):
         config = MachineConfig(
@@ -246,8 +228,7 @@ class TestCrashRecovery:
         )
         with pytest.raises(FaultError):
             run_layout(
-                keyword_compiled, quad_layout(keyword_compiled), ["12"], config=config
-            )
+                keyword_compiled, quad_layout(keyword_compiled), ["12"], options=RunOptions(machine=config))
 
     def test_tagged_pipeline_survives_crash(self, tagged_compiled):
         # Tag-hashed routing must still pair each Drawing with its Image
@@ -261,9 +242,7 @@ class TestCrashRecovery:
         result = run_layout(
             tagged_compiled,
             layout,
-            ["5"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["5"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.invocations["finishsave"] == 5
         assert result.recovery.exactly_once()
 
@@ -276,9 +255,7 @@ class TestStallAndLink:
         result = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.stdout == base.stdout
         assert result.total_cycles > base.total_cycles
         assert result.recovery.stalls == 1
@@ -299,9 +276,7 @@ class TestStallAndLink:
         result = run_layout(
             keyword_compiled,
             layout,
-            ["1"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            ["1"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         assert result.stdout == base.stdout
         assert result.total_cycles > base.total_cycles
         assert result.messages == base.messages  # slower, not fewer
@@ -316,13 +291,9 @@ class TestStallAndLink:
             ]
         )
         slow = run_layout(
-            keyword_compiled, layout, ["4"],
-            config=MachineConfig(fault_plan=degraded),
-        )
+            keyword_compiled, layout, ["4"], options=RunOptions(machine=MachineConfig(fault_plan=degraded)))
         fast = run_layout(
-            keyword_compiled, layout, ["4"],
-            config=MachineConfig(fault_plan=restored),
-        )
+            keyword_compiled, layout, ["4"], options=RunOptions(machine=MachineConfig(fault_plan=restored)))
         assert fast.total_cycles < slow.total_cycles
 
 
@@ -394,9 +365,7 @@ class TestValidateFlag:
             run_layout(
                 keyword_compiled,
                 quad_layout(keyword_compiled),
-                args,
-                config=MachineConfig(validate=True),
-            )
+                args, options=RunOptions(machine=MachineConfig(validate=True)))
 
     def test_validate_detects_leaked_lock(self, keyword_compiled):
         from repro.lang.errors import ScheduleError
@@ -503,8 +472,8 @@ class TestFaultEdgeCases:
             [TransientStall(core=1, cycle=MIDRUN_CYCLE, duration=3_000)]
         )
         config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert first.stdout == base.stdout
         assert first.invocations == base.invocations
         assert first.recovery.stalls == 1
@@ -527,9 +496,7 @@ class TestFaultEdgeCases:
         assert costs.RUNTIME_INIT_COST > 2  # the premise of this test
         layout = quad_layout(keyword_compiled)
         base = run_layout(
-            keyword_compiled, layout, ["12"],
-            config=MachineConfig(record_trace=True),
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(record_trace=True)))
         plan = FaultPlan.make(
             [
                 LinkDegrade(cycle=1, multiplier=9.0),
@@ -537,9 +504,7 @@ class TestFaultEdgeCases:
             ]
         )
         result = run_layout(
-            keyword_compiled, layout, ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True, record_trace=True),
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True, record_trace=True)))
         assert result.recovery.link_events == 2
         assert result.total_cycles == base.total_cycles
         assert result.messages == base.messages
@@ -556,14 +521,11 @@ class TestFaultEdgeCases:
         layout = Layout.make(16, mapping, mesh_width=16)
         base = run_layout(keyword_compiled, layout, ["4"])
         degraded_forever = run_layout(
-            keyword_compiled, layout, ["4"],
-            config=MachineConfig(
+            keyword_compiled, layout, ["4"], options=RunOptions(machine=MachineConfig(
                 fault_plan=FaultPlan.make([LinkDegrade(cycle=0, multiplier=40.0)])
-            ),
-        )
+            )))
         restored = run_layout(
-            keyword_compiled, layout, ["4"],
-            config=MachineConfig(
+            keyword_compiled, layout, ["4"], options=RunOptions(machine=MachineConfig(
                 fault_plan=FaultPlan.make(
                     [
                         LinkDegrade(cycle=0, multiplier=40.0),
@@ -571,8 +533,7 @@ class TestFaultEdgeCases:
                     ]
                 ),
                 validate=True,
-            ),
-        )
+            )))
         assert base.total_cycles <= restored.total_cycles < degraded_forever.total_cycles
         assert restored.stdout == base.stdout
         assert restored.recovery.link_events == 2
@@ -592,8 +553,8 @@ class TestFaultEdgeCases:
         # The plan layer orders the tie by core number.
         assert plan.crash_cores() == [1, 2]
         config = MachineConfig(fault_plan=plan, validate=True, record_trace=True)
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         rec = first.recovery
         assert rec.crashes == 2
         assert rec.dead_cores == [1, 2]

@@ -3,7 +3,14 @@ extend ... heterogeneous cores ... by simply extending the simulation')."""
 
 import pytest
 
-from repro.core import profile_program, run_layout, single_core_layout, synthesize_layout
+from repro.core import (
+    RunOptions,
+    SynthesisOptions,
+    profile_program,
+    run_layout,
+    single_core_layout,
+    synthesize_layout,
+)
 from repro.runtime.machine import MachineConfig
 from repro.schedule.anneal import AnnealConfig
 from repro.schedule.layout import Layout, core_speed, scale_duration
@@ -34,9 +41,7 @@ class TestMachine:
         slow = run_layout(
             keyword_compiled,
             layout,
-            ["6"],
-            config=MachineConfig(core_speeds={0: 0.5}),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(core_speeds={0: 0.5})))
         assert slow.stdout == normal.stdout
         assert slow.total_cycles > normal.total_cycles * 1.5
 
@@ -46,9 +51,7 @@ class TestMachine:
         fast = run_layout(
             keyword_compiled,
             layout,
-            ["6"],
-            config=MachineConfig(core_speeds={0: 2.0}),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(core_speeds={0: 2.0})))
         assert fast.total_cycles < normal.total_cycles
 
     def test_simulator_models_speeds(self, keyword_compiled, keyword_profile):
@@ -59,9 +62,7 @@ class TestMachine:
         real = run_layout(
             keyword_compiled,
             layout,
-            ["6"],
-            config=MachineConfig(core_speeds={0: 0.5}),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(core_speeds={0: 0.5})))
         error = abs(estimate.total_cycles - real.total_cycles) / real.total_cycles
         assert error < 0.06
 
@@ -81,11 +82,7 @@ class TestSynthesisSteersWork:
         report = synthesize_layout(
             keyword_compiled,
             keyword_profile,
-            num_cores=4,
-            seed=3,
-            config=config,
-            core_speeds=speeds,
-        )
+            num_cores=4, options=SynthesisOptions(seed=3, anneal=config, core_speeds=speeds))
         worker_cores = set(report.layout.cores_of("processText"))
         fast = worker_cores & {0, 1}
         slow = worker_cores & {2, 3}
@@ -94,9 +91,7 @@ class TestSynthesisSteersWork:
         hetero_run = run_layout(
             keyword_compiled,
             report.layout,
-            ["6"],
-            config=MachineConfig(core_speeds=speeds),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(core_speeds=speeds)))
         slow_only = Layout.make(4, {
             "startup": [2],
             "processText": [2, 3],
@@ -105,8 +100,6 @@ class TestSynthesisSteersWork:
         slow_run = run_layout(
             keyword_compiled,
             slow_only,
-            ["6"],
-            config=MachineConfig(core_speeds=speeds),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(core_speeds=speeds)))
         assert hetero_run.total_cycles < slow_run.total_cycles
         assert hetero_run.stdout == slow_run.stdout

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core import run_layout, run_sequential, single_core_layout
+from repro.core import (
+    RunOptions,
+    run_layout,
+    run_sequential,
+    single_core_layout,
+)
 from repro.lang.errors import ScheduleError
 from repro.runtime.machine import MachineConfig, ManyCoreMachine
 from repro.schedule.layout import Layout
@@ -102,9 +107,7 @@ class TestPerformanceShape:
         centralized = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(centralized_scheduler=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(centralized_scheduler=True)))
         assert centralized.total_cycles > distributed.total_cycles
 
 
@@ -119,9 +122,7 @@ class TestAccounting:
         result = run_layout(
             keyword_compiled,
             single_core_layout(keyword_compiled),
-            ["4"],
-            collect_profile=True,
-        )
+            ["4"], options=RunOptions(collect_profile=True))
         profile = result.profile
         assert profile is not None
         assert profile.invocations("processText") == 4
@@ -142,9 +143,7 @@ class TestLimits:
             run_layout(
                 keyword_compiled,
                 single_core_layout(keyword_compiled),
-                ["8"],
-                config=config,
-            )
+                ["8"], options=RunOptions(machine=config))
 
     def test_invalid_layout_rejected_at_construction(self, keyword_compiled):
         layout = Layout.make(1, {"startup": [0]})

@@ -8,7 +8,7 @@ without changing what the program computes.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import run_layout, single_core_layout
+from repro.core import RunOptions, run_layout, single_core_layout
 from repro.runtime.machine import MachineConfig
 from repro.schedule.layout import Layout
 
@@ -73,9 +73,7 @@ class TestLayoutIndependence:
         result = run_layout(
             keyword_compiled,
             layout,
-            ["6"],
-            config=MachineConfig(centralized_scheduler=True),
-        )
+            ["6"], options=RunOptions(machine=MachineConfig(centralized_scheduler=True)))
         assert result.stdout == "total=12"
 
     @given(sections=st.integers(1, 12))

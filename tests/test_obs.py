@@ -20,7 +20,12 @@ import json
 import pytest
 
 from repro.bench import benchmark_names, load_benchmark
-from repro.core import profile_program, run_layout, single_core_layout
+from repro.core import (
+    RunOptions,
+    profile_program,
+    run_layout,
+    single_core_layout,
+)
 from repro.fault import CoreCrash, FaultPlan, LinkDegrade, TransientStall
 from repro.lang.errors import ScheduleError
 from repro.obs import (
@@ -89,9 +94,7 @@ class TestCycleAccounting:
         result = run_layout(
             compiled,
             single_core_layout(compiled),
-            SMALL_ARGS[name],
-            config=MachineConfig(observe=True),
-        )
+            SMALL_ARGS[name], options=RunOptions(machine=MachineConfig(observe=True)))
         assert result.events
         assert accounting_ok(result)
 
@@ -99,9 +102,7 @@ class TestCycleAccounting:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(observe=True)))
         assert accounting_ok(result)
         # A 4-core run has idle somewhere (the merge task serializes).
         assert result.metrics["accounting"]["totals"]["idle"] > 0
@@ -117,9 +118,7 @@ class TestCycleAccounting:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True, observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True, observe=True)))
         assert accounting_ok(result)
         acc = result.metrics["accounting"]
         assert acc["per_core"][1]["dead"] == result.total_cycles - 2000
@@ -143,9 +142,7 @@ class TestCycleAccounting:
             observe=True,
         )
         result = run_layout(
-            keyword_compiled, quad_layout(keyword_compiled), ["12"],
-            config=config,
-        )
+            keyword_compiled, quad_layout(keyword_compiled), ["12"], options=RunOptions(machine=config))
         assert accounting_ok(result)
         counters = result.metrics["counters"]
         assert counters["heartbeats"] == result.recovery.heartbeats
@@ -163,9 +160,7 @@ class TestCycleAccounting:
             resilience=resilience, validate=True, observe=True
         )
         result = run_layout(
-            keyword_compiled, quad_layout(keyword_compiled), ["4"],
-            config=config,
-        )
+            keyword_compiled, quad_layout(keyword_compiled), ["4"], options=RunOptions(machine=config))
         assert accounting_ok(result)
         counters = result.metrics["counters"]
         assert counters["task_preemptions"] == result.recovery.watchdog_preemptions
@@ -189,9 +184,7 @@ class TestCycleAccounting:
             observe=True,
         )
         result = run_layout(
-            keyword_compiled, quad_layout(keyword_compiled), ["8"],
-            config=config,
-        )
+            keyword_compiled, quad_layout(keyword_compiled), ["8"], options=RunOptions(machine=config))
         assert accounting_ok(result)
 
     def test_busy_fraction_agrees_with_metrics(self, keyword_compiled):
@@ -206,9 +199,7 @@ class TestCycleAccounting:
             observe=True,
         )
         result = run_layout(
-            keyword_compiled, quad_layout(keyword_compiled), ["12"],
-            config=config,
-        )
+            keyword_compiled, quad_layout(keyword_compiled), ["12"], options=RunOptions(machine=config))
         assert result.core_death_cycles == {1: 2000}
         assert result.metrics["busy_fraction"] == result.busy_fraction()
 
@@ -234,9 +225,7 @@ class TestOffModeIdentity:
         layout = quad_layout(keyword_compiled)
         plain = run_layout(keyword_compiled, layout, ["12"])
         observed = run_layout(
-            keyword_compiled, layout, ["12"],
-            config=MachineConfig(observe=True),
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(observe=True)))
         assert fingerprint(plain) == fingerprint(observed)
         assert plain.events is None and plain.metrics is None
         assert observed.events and observed.metrics
@@ -250,13 +239,9 @@ class TestOffModeIdentity:
             ]
         )
         plain = run_layout(
-            keyword_compiled, layout, ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True),
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True)))
         observed = run_layout(
-            keyword_compiled, layout, ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True, observe=True),
-        )
+            keyword_compiled, layout, ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True, observe=True)))
         assert fingerprint(plain) == fingerprint(observed)
         assert plain.recovery == observed.recovery
 
@@ -266,8 +251,8 @@ class TestOffModeIdentity:
     def test_event_stream_deterministic(self, keyword_compiled):
         layout = quad_layout(keyword_compiled)
         config = MachineConfig(observe=True)
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert first.events == second.events
         assert first.metrics == second.metrics
 
@@ -284,7 +269,7 @@ class TestLegacyTrace:
         config = MachineConfig(
             fault_plan=plan, validate=True, record_trace=True, observe=True
         )
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         derived = [
             line
             for line in (legacy_line(e) for e in result.events)
@@ -299,9 +284,7 @@ class TestLegacyTrace:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["4"],
-            config=MachineConfig(record_trace=True),
-        )
+            ["4"], options=RunOptions(machine=MachineConfig(record_trace=True)))
         assert result.events is None  # record_trace alone stays legacy-only
         commits = [l for l in result.trace if " commit core " in l]
         assert len(commits) == sum(result.invocations.values())
@@ -316,9 +299,7 @@ class TestChromeExport:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(observe=True)))
         path = tmp_path / "trace.json"
         write_chrome_trace(
             str(path), result.events, sorted(result.core_busy),
@@ -341,9 +322,7 @@ class TestChromeExport:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True, observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True, observe=True)))
         doc = chrome_trace(
             result.events, sorted(result.core_busy),
             makespan=result.total_cycles,
@@ -389,9 +368,7 @@ class TestChromeExport:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(observe=True)))
         path = tmp_path / "metrics.json"
         write_metrics_snapshot(str(path), result.metrics)
         loaded = json.loads(path.read_text())
@@ -430,9 +407,7 @@ class TestTimelineRenderer:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(observe=True)))
         text = render_machine_timeline(
             result.events, result.total_cycles, cores=sorted(result.core_busy)
         )
@@ -446,9 +421,7 @@ class TestTimelineRenderer:
         result = run_layout(
             keyword_compiled,
             quad_layout(keyword_compiled),
-            ["12"],
-            config=MachineConfig(fault_plan=plan, validate=True, observe=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(fault_plan=plan, validate=True, observe=True)))
         text = render_machine_timeline(
             result.events, result.total_cycles, cores=sorted(result.core_busy)
         )

@@ -10,7 +10,7 @@ preempted and retried, and poison work lands in the dead-letter queue.
 
 import pytest
 
-from repro.core import run_layout, profile_program
+from repro.core import RunOptions, profile_program, run_layout
 from repro.core.adaptive import AdaptiveExecutable
 from repro.fault import CoreCrash, FaultError, FaultPlan, TransientStall
 from repro.resilience import QuarantineRecord, ResilienceConfig
@@ -87,15 +87,13 @@ class TestGating:
     def test_disabled_config_bit_identical(self, keyword_compiled):
         layout = quad_layout(keyword_compiled)
         config = MachineConfig(record_trace=True)
-        plain = run_layout(keyword_compiled, layout, ["12"], config=config)
+        plain = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         gated = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(
+            ["12"], options=RunOptions(machine=MachineConfig(
                 resilience=ResilienceConfig(enabled=False), record_trace=True
-            ),
-        )
+            )))
         assert fingerprint(plain) == fingerprint(gated)
         assert gated.recovery is None
         assert gated.quarantined is None
@@ -108,9 +106,7 @@ class TestGating:
         resilient = run_layout(
             keyword_compiled,
             layout,
-            ["12"],
-            config=MachineConfig(resilience=ResilienceConfig(), validate=True),
-        )
+            ["12"], options=RunOptions(machine=MachineConfig(resilience=ResilienceConfig(), validate=True)))
         assert resilient.stdout == plain.stdout
         assert resilient.invocations == plain.invocations
         assert resilient.exit_counts == plain.exit_counts
@@ -134,8 +130,8 @@ class TestGating:
             validate=True,
             record_trace=True,
         )
-        first = run_layout(keyword_compiled, layout, ["12"], config=config)
-        second = run_layout(keyword_compiled, layout, ["12"], config=config)
+        first = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
+        second = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert fingerprint(first) == fingerprint(second)
         assert first.recovery == second.recovery
 
@@ -151,7 +147,7 @@ class TestDetection:
             validate=True,
             record_trace=True,
         )
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         stats = result.recovery
         assert stats.crashes == 1
         assert stats.detections == 1
@@ -187,7 +183,7 @@ class TestDetection:
         config = MachineConfig(
             fault_plan=plan, resilience=resilience, validate=True
         )
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         stats = result.recovery
         assert stats.stalls == 1
         assert stats.suspicions == 0
@@ -210,7 +206,7 @@ class TestDetection:
             validate=True,
             record_trace=True,
         )
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         stats = result.recovery
         assert stats.crashes == 0
         assert stats.suspicions >= 1
@@ -243,7 +239,7 @@ class TestDetection:
         config = MachineConfig(
             fault_plan=plan, resilience=resilience, validate=True
         )
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         stats = result.recovery
         assert stats.crashes == 1
         assert stats.rejoins == 0
@@ -261,7 +257,7 @@ class TestWatchdog:
             deadline_multiplier=100.0, profile=profile
         )
         config = MachineConfig(resilience=resilience, validate=True)
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert result.recovery.watchdog_preemptions == 0
         assert result.stdout == base.stdout
         assert result.quarantined == []
@@ -279,7 +275,7 @@ class TestWatchdog:
         config = MachineConfig(
             resilience=resilience, validate=True, record_trace=True
         )
-        result = run_layout(keyword_compiled, layout, ["4"], config=config)
+        result = run_layout(keyword_compiled, layout, ["4"], options=RunOptions(machine=config))
         stats = result.recovery
         assert stats.watchdog_preemptions > 0
         assert stats.retries > 0
@@ -301,7 +297,7 @@ class TestWatchdog:
             deadline_multiplier=1.0, fallback_deadline=5, max_retries=0
         )
         config = MachineConfig(resilience=resilience, validate=True)
-        result = run_layout(keyword_compiled, layout, ["4"], config=config)
+        result = run_layout(keyword_compiled, layout, ["4"], options=RunOptions(machine=config))
         # max_retries=0: first preemption quarantines immediately; nothing
         # is ever retried.
         assert result.recovery.retries == 0
@@ -348,7 +344,7 @@ class TestBusyFraction:
     def test_crash_run_populates_death_cycles(self, keyword_compiled):
         layout = quad_layout(keyword_compiled)
         config = MachineConfig(fault_plan=FaultPlan.single_crash(1, MIDRUN_CYCLE))
-        result = run_layout(keyword_compiled, layout, ["12"], config=config)
+        result = run_layout(keyword_compiled, layout, ["12"], options=RunOptions(machine=config))
         assert result.core_death_cycles == {1: MIDRUN_CYCLE}
         # The fault-aware fraction beats the naive one: the dead core's
         # post-crash idle window no longer dilutes the mean.

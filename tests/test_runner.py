@@ -10,6 +10,7 @@ from repro.bench.runner import (
     run_three_versions,
 )
 from repro.core import (
+    RunOptions,
     compile_program,
     run_layout,
     run_sequential,
@@ -82,9 +83,7 @@ class TestBoundsCheckMode:
         layout = single_core_layout(keyword_compiled)
         off = run_layout(keyword_compiled, layout, ["6"])
         on = run_layout(
-            keyword_compiled, layout, ["6"],
-            config=MachineConfig(bounds_checks=True),
-        )
+            keyword_compiled, layout, ["6"], options=RunOptions(machine=MachineConfig(bounds_checks=True)))
         assert on.stdout == off.stdout
         assert on.total_cycles > off.total_cycles
 

@@ -1,0 +1,497 @@
+"""The parallel, memoized layout search (:mod:`repro.search`).
+
+Three contracts are enforced here:
+
+* **Worker independence** — ``workers=N`` synthesis is bit-identical to
+  ``workers=1`` on every benchmark program (same best layout, same cycle
+  estimate, same iteration history, same accounting).
+* **Cache transparency** — with an unbounded budget and no early cutoff,
+  synthesis with the simulation cache on equals synthesis with it off.
+* **Fingerprint soundness** — distinct layout contents get distinct
+  fingerprints; identical contents get identical fingerprints.
+
+Plus the :class:`SimCache` unit behaviour (LRU, counters, bound entries)
+and the deprecated keyword shims of the options API redesign.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import benchmark_names, get_spec, load_benchmark
+from repro.core import (
+    RunOptions,
+    SynthesisOptions,
+    annotated_cstg,
+    profile_program,
+    run_layout,
+    single_core_layout,
+    synthesize_layout,
+)
+from repro.obs import MetricsRegistry
+from repro.schedule.anneal import AnnealConfig, DirectedSimulatedAnnealing
+from repro.schedule.coregroup import build_group_graph
+from repro.schedule.mapping import layout_fingerprint, random_layouts
+from repro.schedule.simulator import SimResult
+from repro.search import (
+    CacheEntry,
+    ParallelEvaluator,
+    SerialEvaluator,
+    SimCache,
+    make_evaluator,
+)
+
+SMALL_ARGS = {
+    "Tracking": ["12", "6"],
+    "KMeans": ["6", "8", "3"],
+    "MonteCarlo": ["10", "40"],
+    "FilterBank": ["8", "24"],
+    "Fractal": ["16"],
+    "Series": ["10", "12"],
+    "Keyword": ["8"],
+}
+
+SMALL_ANNEAL = dict(
+    initial_candidates=2, max_iterations=3, patience=2,
+    continue_probability=0.2,
+)
+
+_PROFILES = {}
+
+
+def small_profile(name):
+    if name not in _PROFILES:
+        _PROFILES[name] = profile_program(
+            load_benchmark(name), SMALL_ARGS[name]
+        )
+    return _PROFILES[name]
+
+
+def small_synthesis(name, **options_kw):
+    compiled = load_benchmark(name)
+    profile = small_profile(name)
+    options = SynthesisOptions(
+        anneal=AnnealConfig(seed=7, **SMALL_ANNEAL),
+        hints=get_spec(name).hints,
+        **options_kw,
+    )
+    return synthesize_layout(compiled, profile, 4, options=options)
+
+
+def report_fingerprint(report):
+    """Everything observable about a synthesis run, as comparable data."""
+    return (
+        report.estimated_cycles,
+        report.layout.as_dict(),
+        report.layout.num_cores,
+        report.history,
+        report.evaluations,
+        report.cache_hits,
+        report.requested_evaluations,
+        report.pruned_evaluations,
+        report.iterations,
+    )
+
+
+class TestWorkerIndependence:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_parallel_matches_serial_on_every_benchmark(self, name):
+        serial = small_synthesis(name, workers=1)
+        parallel = small_synthesis(name, workers=2)
+        assert report_fingerprint(serial) == report_fingerprint(parallel)
+
+    def test_three_workers_match_too(self):
+        serial = small_synthesis("Keyword", workers=1)
+        parallel = small_synthesis("Keyword", workers=3)
+        assert report_fingerprint(serial) == report_fingerprint(parallel)
+
+    def test_early_cutoff_is_worker_independent(self):
+        compiled = load_benchmark("KMeans")
+        profile = profile_program(compiled, SMALL_ARGS["KMeans"])
+        anneal = AnnealConfig(seed=3, early_cutoff=True, **SMALL_ANNEAL)
+        reports = [
+            synthesize_layout(
+                compiled, profile, 4,
+                options=SynthesisOptions(anneal=anneal, workers=workers),
+            )
+            for workers in (1, 2)
+        ]
+        assert report_fingerprint(reports[0]) == report_fingerprint(reports[1])
+
+    def test_early_cutoff_prunes_simulations(self):
+        compiled = load_benchmark("KMeans")
+        profile = profile_program(compiled, SMALL_ARGS["KMeans"])
+        anneal = AnnealConfig(seed=3, early_cutoff=True, **SMALL_ANNEAL)
+        report = synthesize_layout(
+            compiled, profile, 4, options=SynthesisOptions(anneal=anneal)
+        )
+        assert report.pruned_evaluations > 0
+
+
+class TestCacheTransparency:
+    def test_cache_on_equals_cache_off(self):
+        # With an unbounded budget and no cutoff, memoization only skips
+        # re-simulation of identical layouts — it cannot change scores.
+        on = small_synthesis("Keyword", sim_cache=True)
+        off = small_synthesis("Keyword", sim_cache=False)
+        assert on.estimated_cycles == off.estimated_cycles
+        assert on.layout.as_dict() == off.layout.as_dict()
+        assert on.history == off.history
+        # The cache only *saves* work:
+        assert on.evaluations <= off.evaluations
+        assert on.requested_evaluations == off.requested_evaluations
+        assert off.cache_hits == 0
+
+    def test_cache_hits_do_not_consume_budget(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        anneal = AnnealConfig(seed=7, max_evaluations=40, **SMALL_ANNEAL)
+        report = synthesize_layout(
+            compiled, profile, 4, options=SynthesisOptions(anneal=anneal)
+        )
+        assert report.evaluations <= 40
+        # requested counts hits on top of the budgeted simulations
+        assert report.requested_evaluations == (
+            report.evaluations + report.cache_hits
+        )
+
+    def test_shared_cache_across_runs(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        shared = SimCache()
+        anneal = AnnealConfig(seed=7, **SMALL_ANNEAL)
+        first = synthesize_layout(
+            compiled, profile, 4,
+            options=SynthesisOptions(anneal=anneal, cache=shared),
+        )
+        second = synthesize_layout(
+            compiled, profile, 4,
+            options=SynthesisOptions(anneal=anneal, cache=shared),
+        )
+        assert second.estimated_cycles == first.estimated_cycles
+        # The second run re-visits only memoized layouts.
+        assert second.evaluations == 0
+        assert second.cache_hits == second.requested_evaluations > 0
+
+    def test_report_carries_search_metrics_snapshot(self):
+        registry = MetricsRegistry()
+        report = small_synthesis("Keyword", metrics=registry)
+        snapshot = report.search_metrics
+        assert snapshot["schema"] == "repro.obs/search-metrics-v1"
+        assert snapshot["workers"] == 1
+        assert snapshot["evaluations"] == report.evaluations
+        assert snapshot["cache_hits"] == report.cache_hits
+        assert snapshot["sim_cache"]["hits"] == report.cache_hits
+        assert 0.0 <= snapshot["cache_hit_rate"] <= 1.0
+        # The caller's registry saw every cache event.
+        counters = registry.snapshot()["counters"]
+        assert counters["sim_cache_hits"] == report.cache_hits
+
+
+def _keyword_layout_pool(count=40, num_cores=6, seed=11):
+    compiled = load_benchmark("Keyword")
+    profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+    cstg = annotated_cstg(compiled, profile)
+    graph = build_group_graph(compiled.info, cstg, profile)
+    choices = {
+        g.group_id: ([1, 2, 3, num_cores] if g.replicable else [1])
+        for g in graph.groups
+    }
+    return random_layouts(
+        compiled.info, graph, choices, num_cores, count, random.Random(seed)
+    )
+
+
+class TestLayoutFingerprint:
+    def test_distinct_contents_distinct_fingerprints(self):
+        layouts = _keyword_layout_pool()
+        assert len(layouts) >= 10  # the sampler actually produced a pool
+        by_content = {}
+        for layout in layouts:
+            content = (
+                layout.num_cores,
+                tuple(sorted(
+                    (task, tuple(cores))
+                    for task, cores in layout.as_dict().items()
+                )),
+            )
+            by_content.setdefault(content, set()).add(
+                layout_fingerprint(layout)
+            )
+        # identical content -> identical fingerprint
+        assert all(len(prints) == 1 for prints in by_content.values())
+        # distinct content -> distinct fingerprint (no collisions in pool)
+        all_prints = [next(iter(p)) for p in by_content.values()]
+        assert len(set(all_prints)) == len(by_content)
+
+    def test_core_speeds_change_the_fingerprint(self):
+        layout = _keyword_layout_pool(count=1)[0]
+        plain = layout_fingerprint(layout)
+        hetero = layout_fingerprint(layout, {0: 2.0})
+        assert plain != hetero
+        # speeds on unused cores are irrelevant
+        unused = max(layout.cores_used()) + 1
+        assert layout_fingerprint(layout, {unused: 2.0}) == plain
+
+    def test_fingerprint_is_stable(self):
+        layout = _keyword_layout_pool(count=1)[0]
+        assert layout_fingerprint(layout) == layout_fingerprint(layout)
+
+
+def _entry(cycles, pruned=False):
+    result = SimResult(
+        total_cycles=cycles, finished=True, trace=[], core_busy={},
+        invocations={}, utilization=1.0, pruned=pruned,
+    )
+    return CacheEntry(cycles=cycles, result=result, pruned=pruned)
+
+
+class TestSimCache:
+    def test_hit_miss_counters(self):
+        cache = SimCache()
+        assert cache.get("a") is None
+        cache.put("a", _entry(100))
+        assert cache.get("a").cycles == 100
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1 and "a" in cache
+
+    def test_lru_eviction(self):
+        cache = SimCache(max_entries=2)
+        cache.put("a", _entry(1))
+        cache.put("b", _entry(2))
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", _entry(3))          # evicts b, the LRU entry
+        assert cache.evictions == 1
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_bound_entry_answers_only_below_its_cycles(self):
+        cache = SimCache()
+        cache.put("k", _entry(500, pruned=True))
+        # cutoff below the observed bound: the layout provably loses
+        assert cache.get("k", cutoff=400) is not None
+        # cutoff at/above the bound, or no cutoff: must re-simulate
+        assert cache.get("k", cutoff=500) is None
+        assert cache.get("k") is None
+        assert cache.bound_misses == 2
+
+    def test_exact_entry_never_downgraded(self):
+        cache = SimCache()
+        cache.put("k", _entry(500))
+        cache.put("k", _entry(450, pruned=True))
+        entry = cache.get("k")
+        assert entry is not None and not entry.pruned
+        assert entry.cycles == 500
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        cache = SimCache(registry=registry)
+        cache.get("a")
+        cache.put("a", _entry(10))
+        cache.get("a")
+        counters = registry.snapshot()["counters"]
+        assert counters["sim_cache_hits"] == 1
+        assert counters["sim_cache_misses"] == 1
+
+    def test_stats_snapshot(self):
+        cache = SimCache(max_entries=8)
+        cache.put("a", _entry(10))
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 8
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["lookups"] == 2
+
+
+class TestEvaluatorContract:
+    @pytest.fixture(scope="class")
+    def keyword_setup(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        layouts = _keyword_layout_pool(count=6, num_cores=4, seed=5)
+        return compiled, profile, layouts
+
+    def test_budget_stops_batch_at_first_uncovered_miss(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+        evaluator = SerialEvaluator(compiled, profile, cache=SimCache())
+        outcome = evaluator.evaluate(layouts, budget=3)
+        assert outcome.simulations == 3
+        assert len(outcome.scored) == 3  # unscored suffix dropped
+
+    def test_cached_prefix_is_free(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+        cache = SimCache()
+        evaluator = SerialEvaluator(compiled, profile, cache=cache)
+        evaluator.evaluate(layouts)  # warm
+        outcome = evaluator.evaluate(layouts, budget=0)
+        assert outcome.simulations == 0
+        assert outcome.cache_hits == len(layouts)
+        assert all(item.from_cache for item in outcome.scored)
+
+    def test_parallel_backend_matches_serial(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+        serial = SerialEvaluator(compiled, profile)
+        parallel = ParallelEvaluator(compiled, profile, workers=2)
+        try:
+            a = serial.evaluate(layouts)
+            b = parallel.evaluate(layouts)
+            assert [s.cycles for s in a.scored] == [s.cycles for s in b.scored]
+        finally:
+            parallel.close()
+
+    def test_factory_picks_backend(self, keyword_setup):
+        compiled, profile, _ = keyword_setup
+        assert isinstance(
+            make_evaluator(compiled, profile, workers=1), SerialEvaluator
+        )
+        parallel = make_evaluator(compiled, profile, workers=2)
+        assert isinstance(parallel, ParallelEvaluator)
+        parallel.close()
+
+    def test_parallel_requires_two_workers(self, keyword_setup):
+        compiled, profile, _ = keyword_setup
+        with pytest.raises(ValueError):
+            ParallelEvaluator(compiled, profile, workers=1)
+
+    def test_cutoff_prunes_slow_layouts(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+        evaluator = SerialEvaluator(compiled, profile)
+        full = evaluator.evaluate(layouts)
+        best = min(item.cycles for item in full.scored)
+        cut = evaluator.evaluate(layouts, cutoff=best)
+        assert cut.pruned > 0
+        # pruned scores are still lower-bounded above the cutoff
+        for before, after in zip(full.scored, cut.scored):
+            if after.result.pruned:
+                assert after.cycles > best or after.cycles == before.cycles
+
+
+class TestOptionsShims:
+    def test_run_layout_config_kwarg_warns_and_works(self, tmp_path):
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        baseline = run_layout(compiled, layout, ["4"])
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = run_layout(compiled, layout, ["4"], config=None)
+        assert legacy.total_cycles == baseline.total_cycles
+
+    def test_run_layout_collect_profile_kwarg_warns(self):
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            result = run_layout(
+                compiled, layout, ["4"], collect_profile=True
+            )
+        assert result.profile is not None
+
+    def test_run_layout_rejects_options_plus_legacy(self):
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                run_layout(
+                    compiled, layout, ["4"],
+                    options=RunOptions(), collect_profile=True,
+                )
+
+    def test_synthesize_layout_legacy_kwargs_warn_and_match(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        anneal = AnnealConfig(seed=7, **SMALL_ANNEAL)
+        new = synthesize_layout(
+            compiled, profile, 4,
+            options=SynthesisOptions(seed=1, anneal=anneal),
+        )
+        with pytest.warns(DeprecationWarning, match="SynthesisOptions"):
+            old = synthesize_layout(
+                compiled, profile, 4, seed=1, config=anneal
+            )
+        assert report_fingerprint(old) == report_fingerprint(new)
+
+    def test_synthesize_layout_config_alone_forces_seed_zero(self):
+        # The old signature always overwrote config.seed with the seed
+        # parameter (default 0); the shim must preserve that.
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        anneal = AnnealConfig(seed=9, **SMALL_ANNEAL)
+        with pytest.warns(DeprecationWarning):
+            old = synthesize_layout(compiled, profile, 4, config=anneal)
+        new = synthesize_layout(
+            compiled, profile, 4,
+            options=SynthesisOptions(seed=0, anneal=anneal),
+        )
+        assert report_fingerprint(old) == report_fingerprint(new)
+        assert anneal.seed == 9  # the shim no longer mutates the config
+
+    def test_synthesize_layout_rejects_options_plus_legacy(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                synthesize_layout(
+                    compiled, profile, 4,
+                    options=SynthesisOptions(), seed=1,
+                )
+
+    def test_run_options_sinks_written(self, tmp_path):
+        import json
+
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        result = run_layout(
+            compiled, layout, ["4"],
+            options=RunOptions(
+                trace_path=str(trace), metrics_path=str(metrics)
+            ),
+        )
+        assert result.events is not None  # sink paths imply observation
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert json.loads(metrics.read_text())
+
+    def test_all_default_run_options_take_no_config_path(self):
+        compiled = load_benchmark("Keyword")
+        layout = single_core_layout(compiled)
+        bare = run_layout(compiled, layout, ["4"])
+        optioned = run_layout(compiled, layout, ["4"], options=RunOptions())
+        assert RunOptions().machine_config() is None
+        assert bare.total_cycles == optioned.total_cycles
+        assert bare.events is None and optioned.events is None
+
+
+class TestDSAEngineWiring:
+    def test_dsa_owns_and_closes_its_evaluator(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        dsa = DirectedSimulatedAnnealing(
+            compiled, profile, 4,
+            config=AnnealConfig(seed=7, **SMALL_ANNEAL), workers=2,
+        )
+        try:
+            result = dsa.run()
+        finally:
+            dsa.close()
+        assert result.best_cycles > 0
+        assert result.requested_evaluations == (
+            result.evaluations + result.cache_hits
+        )
+        assert result.cache_stats is not None
+        assert result.cache_stats["hits"] == result.cache_hits
+
+    def test_use_cache_false_disables_memoization(self):
+        compiled = load_benchmark("Keyword")
+        profile = profile_program(compiled, SMALL_ARGS["Keyword"])
+        dsa = DirectedSimulatedAnnealing(
+            compiled, profile, 4,
+            config=AnnealConfig(seed=7, **SMALL_ANNEAL), use_cache=False,
+        )
+        try:
+            result = dsa.run()
+        finally:
+            dsa.close()
+        assert result.cache_hits == 0
+        assert result.cache_stats is None
