@@ -68,14 +68,11 @@ def run_benchmark(ctx, name):
             patience=2,
             continue_probability=0.5,
         )
-        dsa = DirectedSimulatedAnnealing(
+        with DirectedSimulatedAnnealing(
             compiled, profile, NUM_CORES, config=config, hints=hints,
             group_graph=graph, cache=shared_cache,
-        )
-        try:
+        ) as dsa:
             result = dsa.run()
-        finally:
-            dsa.close()
         dsa_results.append(result.best_cycles)
 
     # "Best bucket": within 5% of the global best estimate.

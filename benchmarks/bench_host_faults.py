@@ -1,0 +1,179 @@
+"""What host-fault supervision costs: overhead when healthy, recovery
+price when not.
+
+Two measurements on a fixed DSA workload (Keyword at 8 cores — cheap
+enough that pool management, not simulation, dominates, which is the
+worst case for supervision overhead):
+
+1. **Supervision overhead** — identical fault-free parallel synthesis
+   with supervision off vs on. Supervision adds per-dispatch bookkeeping
+   (deadline computation, EWMA update, sequence numbering) but no extra
+   simulations, so the overhead must stay modest and the results
+   bit-identical.
+2. **Recovery cost** — the same synthesis under seeded host-chaos plans
+   (worker crashes and hangs). Each fired fault forces retries and a
+   pool rebuild; the run must still be bit-identical to fault-free, and
+   the telemetry records the wall-clock price per injected fault.
+
+Recorded as one JSON telemetry document
+(``benchmarks/out/host_faults.json``) for trend tracking.
+"""
+
+from conftest import emit
+from repro.bench import get_spec, load_benchmark
+from repro.core import SynthesisOptions, synthesize_layout
+from repro.schedule.anneal import AnnealConfig
+from repro.search import RetryPolicy, run_host_chaos
+from repro.viz import render_table
+from telemetry import write_telemetry
+
+BENCH = "Keyword"
+NUM_CORES = 8
+WORKERS = 2
+CHAOS_RUNS = 4
+
+#: Short deadlines and near-zero backoff: the benchmark measures the
+#: recovery machinery, not the default policy's patience with slow hosts.
+POLICY = RetryPolicy(
+    timeout_mult=8.0, timeout_floor=2.0, max_retries=3,
+    backoff_base=0.01, backoff_cap=0.1,
+)
+
+
+def search_config() -> AnnealConfig:
+    return AnnealConfig(seed=0, max_iterations=8, max_evaluations=400)
+
+
+def synthesize(ctx, supervise: bool):
+    return synthesize_layout(
+        load_benchmark(BENCH),
+        ctx.profile(BENCH),
+        NUM_CORES,
+        options=SynthesisOptions(
+            anneal=search_config(),
+            hints=get_spec(BENCH).hints,
+            workers=WORKERS,
+            supervise=supervise,
+            retry_policy=POLICY if supervise else None,
+        ),
+    )
+
+
+def run_all(ctx):
+    unsupervised = synthesize(ctx, supervise=False)
+    supervised = synthesize(ctx, supervise=True)
+    chaos = run_host_chaos(
+        load_benchmark(BENCH),
+        ctx.profile(BENCH),
+        NUM_CORES,
+        options=SynthesisOptions(
+            anneal=search_config(), hints=get_spec(BENCH).hints
+        ),
+        runs=CHAOS_RUNS,
+        base_seed=0,
+        workers=WORKERS,
+        policy=POLICY,
+    )
+    return unsupervised, supervised, chaos
+
+
+def test_host_fault_costs(benchmark, ctx):
+    unsupervised, supervised, chaos = benchmark.pedantic(
+        run_all, args=(ctx,), iterations=1, rounds=1
+    )
+
+    # Supervision is result-transparent...
+    assert supervised.estimated_cycles == unsupervised.estimated_cycles
+    assert supervised.layout.as_dict() == unsupervised.layout.as_dict()
+    assert supervised.history == unsupervised.history
+    # ...and fault-free it recovers nothing.
+    stats = supervised.search_metrics["supervision"]
+    assert stats["worker_retries"] == 0
+    assert stats["pool_rebuilds"] == 0
+
+    # The chaos sweep held every invariant and actually fired faults.
+    assert chaos.ok, chaos.describe()
+    fired = chaos.total("injected_crashes") + chaos.total("injected_hangs")
+    assert fired >= 1
+    assert chaos.total("worker_retries") >= fired
+
+    overhead = (
+        supervised.wall_seconds / unsupervised.wall_seconds
+        if unsupervised.wall_seconds
+        else 1.0
+    )
+    faulted = [run for run in chaos.runs if not run.plan.is_empty()]
+    recovery_rows = []
+    for run in faulted:
+        run_fired = int(run.supervision.get("injected_crashes", 0)) + int(
+            run.supervision.get("injected_hangs", 0)
+        )
+        cost = run.report.wall_seconds - supervised.wall_seconds
+        recovery_rows.append(
+            [f"plan {run.index}", len(run.plan.faults), run_fired,
+             int(run.supervision.get("worker_retries", 0)),
+             int(run.supervision.get("pool_rebuilds", 0)),
+             f"{run.report.wall_seconds:.2f}s",
+             f"{cost:+.2f}s"]
+        )
+
+    table = render_table(
+        ["Run", "Planned", "Fired", "Retries", "Rebuilds", "Wall", "vs clean"],
+        [
+            ["unsupervised", "-", "-", "-", "-",
+             f"{unsupervised.wall_seconds:.2f}s", "-"],
+            ["supervised", 0, 0, 0, 0,
+             f"{supervised.wall_seconds:.2f}s",
+             f"{supervised.wall_seconds - unsupervised.wall_seconds:+.2f}s"],
+        ]
+        + recovery_rows,
+    )
+    emit(
+        f"Host-fault supervision: overhead and recovery "
+        f"({BENCH}, {NUM_CORES} cores, {WORKERS} workers)",
+        table
+        + f"\n\nsupervision overhead: {overhead:.2f}x (fault-free)"
+        + f"\nchaos invariants:     all held "
+        f"({fired} fault(s) fired, {chaos.total('worker_retries')} "
+        f"retries, {chaos.total('pool_rebuilds')} rebuilds)",
+        artifact="host_faults.txt",
+    )
+    write_telemetry(
+        "host_faults",
+        {
+            "benchmark": BENCH,
+            "num_cores": NUM_CORES,
+            "workers": WORKERS,
+            "estimated_cycles": supervised.estimated_cycles,
+            "unsupervised": {
+                "wall_seconds": unsupervised.wall_seconds,
+                "search": unsupervised.search_metrics,
+            },
+            "supervised": {
+                "wall_seconds": supervised.wall_seconds,
+                "search": supervised.search_metrics,
+            },
+            "supervision_overhead": overhead,
+            "chaos": {
+                "runs": CHAOS_RUNS,
+                "ok": chaos.ok,
+                "fired": fired,
+                "worker_retries": chaos.total("worker_retries"),
+                "pool_rebuilds": chaos.total("pool_rebuilds"),
+                "serial_fallbacks": chaos.total("serial_fallbacks"),
+                "per_plan": [
+                    {
+                        "index": run.index,
+                        "plan": run.plan.describe(),
+                        "wall_seconds": (
+                            run.report.wall_seconds
+                            if run.report is not None
+                            else None
+                        ),
+                        "supervision": run.supervision,
+                    }
+                    for run in chaos.runs
+                ],
+            },
+        },
+    )

@@ -22,6 +22,15 @@ Commands
     writes a Chrome trace-event timeline (Perfetto-loadable) and
     ``--metrics-out FILE`` the run's metrics snapshot; either implies
     observation (``MachineConfig.observe``).
+
+    The search itself is fault tolerant at the host level:
+    ``--checkpoint FILE`` writes a resumable checkpoint every
+    ``checkpoint_every`` iterations (and on Ctrl-C, which exits 130);
+    ``--resume FILE`` continues an interrupted search bit-identically;
+    ``--worker-timeout-mult X`` scales the supervision deadline for slow
+    hosts; ``--host-chaos N`` sweeps N seeded host-fault plans (worker
+    crashes/hangs) and exits nonzero if any supervision invariant is
+    violated.
 ``cstg FILE [ARGS...] [--dot]``
     Print the profile-annotated CSTG (optionally as Graphviz DOT).
 ``bench NAME [--cores N]``
@@ -31,6 +40,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import pickle
 import sys
 from typing import List, Optional
 
@@ -118,21 +128,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_path=args.trace_out,
         metrics_path=args.metrics_out,
     )
+    if args.host_chaos:
+        from .search import run_host_chaos
+
+        if profile is None:
+            profile = profile_program(compiled, args.args)
+        host_report = run_host_chaos(
+            compiled,
+            profile,
+            max(2, args.cores),
+            options=SynthesisOptions(
+                seed=args.seed,
+                sim_cache=not args.no_sim_cache,
+                worker_timeout_mult=args.worker_timeout_mult,
+            ),
+            runs=args.host_chaos,
+            base_seed=args.seed,
+            workers=max(2, args.workers),
+        )
+        print(host_report.describe())
+        return 0 if host_report.ok else 1
     if args.cores <= 1:
         layout = single_core_layout(compiled)
     else:
         if profile is None:
             profile = profile_program(compiled, args.args)
-        report = synthesize_layout(
-            compiled,
-            profile,
-            args.cores,
-            options=SynthesisOptions(
-                seed=args.seed,
-                workers=args.workers,
-                sim_cache=not args.no_sim_cache,
-            ),
-        )
+        try:
+            report = synthesize_layout(
+                compiled,
+                profile,
+                args.cores,
+                options=SynthesisOptions(
+                    seed=args.seed,
+                    workers=args.workers,
+                    sim_cache=not args.no_sim_cache,
+                    worker_timeout_mult=args.worker_timeout_mult,
+                    checkpoint_path=args.checkpoint,
+                    resume=args.resume,
+                ),
+            )
+        except KeyboardInterrupt:
+            # The annealer already flushed its last iteration boundary.
+            if args.checkpoint:
+                print(
+                    f"interrupted: checkpoint written to {args.checkpoint}; "
+                    f"resume with --resume {args.checkpoint}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "interrupted (no --checkpoint given, progress lost)",
+                    file=sys.stderr,
+                )
+            return 130
         if args.search_metrics_out:
             import json
 
@@ -296,6 +344,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a chaos sweep of N seeded fault plans under resilience; "
              "exit nonzero if any invariant is violated",
     )
+    p_run.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="checkpoint the layout search here every checkpoint_every "
+             "iterations (and on Ctrl-C); resume with --resume",
+    )
+    p_run.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume an interrupted layout search from a checkpoint "
+             "(bit-identical to the uninterrupted run)",
+    )
+    p_run.add_argument(
+        "--worker-timeout-mult", type=float, default=None, metavar="X",
+        help="supervision deadline = observed mean simulation time x X "
+             "(raise on slow/oversubscribed hosts)",
+    )
+    p_run.add_argument(
+        "--host-chaos", type=int, default=0, metavar="N",
+        help="sweep N seeded host-fault plans (worker crashes/hangs) "
+             "against the layout search; exit nonzero if any supervision "
+             "invariant is violated",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cstg = sub.add_parser("cstg", help="print the annotated CSTG")
@@ -321,9 +390,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except pickle.PickleError as exc:
+        # Worker dispatch serializes the compiled program; a pickling
+        # failure is an environment problem, not a program error.
+        print(
+            f"error: cannot serialize work for worker processes: {exc} "
+            "(rerun with --workers 1)",
+            file=sys.stderr,
+        )
+        return 3
     except (BambooError, RuntimeBambooError, ScheduleError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -115,7 +115,11 @@ def synthesize_layout(
     elif cache is not None and cache.registry is None:
         cache.registry = registry
 
-    dsa = DirectedSimulatedAnnealing(
+    # An explicit chaos plan forces supervision on: injected crashes
+    # without a supervisor would just kill the synthesis.
+    supervise = options.supervise or options.host_chaos is not None
+
+    with DirectedSimulatedAnnealing(
         compiled,
         profile,
         num_cores,
@@ -127,12 +131,28 @@ def synthesize_layout(
         cache=cache,
         workers=options.workers,
         use_cache=options.sim_cache,
-    )
-    try:
+        supervise=supervise,
+        retry_policy=options.effective_retry_policy(),
+        host_chaos=options.host_chaos,
+        checkpoint_path=options.checkpoint_path,
+        resume=options.resume,
+    ) as dsa:
         result: AnnealResult = dsa.run()
-    finally:
-        dsa.close()
     wall = _time.perf_counter() - started
+    supervision = result.supervision
+    if supervision is not None:
+        for counter, name in (
+            ("worker_retries", "search_worker_retries"),
+            ("pool_rebuilds", "search_pool_rebuilds"),
+            ("serial_fallbacks", "search_serial_fallbacks"),
+        ):
+            amount = int(supervision.get(counter, 0))
+            if amount:
+                registry.counter(name).inc(amount)
+    if result.checkpoints_written:
+        registry.counter("search_checkpoints_written").inc(
+            result.checkpoints_written
+        )
     return SynthesisReport(
         layout=result.best_layout,
         estimated_cycles=result.best_cycles,
@@ -153,5 +173,8 @@ def synthesize_layout(
             pruned_evaluations=result.pruned_evaluations,
             cache_stats=result.cache_stats,
             registry=registry,
+            supervision=supervision,
+            checkpoints_written=result.checkpoints_written,
+            events=result.host_events,
         ),
     )

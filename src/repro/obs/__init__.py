@@ -17,8 +17,11 @@ this package.
 """
 
 from .events import (
+    CheckpointWritten,
     Event,
+    PoolRebuild,
     Tracer,
+    WorkerRetry,
     legacy_line,
     occupancy_intervals,
 )
@@ -36,9 +39,12 @@ from .metrics import (
 )
 
 __all__ = [
+    "CheckpointWritten",
     "Event",
     "MetricsRegistry",
+    "PoolRebuild",
     "Tracer",
+    "WorkerRetry",
     "build_metrics",
     "build_search_metrics",
     "chrome_trace",

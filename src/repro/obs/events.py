@@ -256,6 +256,61 @@ class Truncate(Event):
     at: int
 
 
+# -- host-level search supervision ---------------------------------------------
+#
+# These events are emitted by the *host-side* layout search
+# (:mod:`repro.search.supervise` / :mod:`repro.search.checkpoint`), not by
+# the simulated machine, so ``time`` is a deterministic host sequence
+# number (the dispatch counter, or the annealing iteration) rather than a
+# simulated cycle. They ride in the ``repro.obs/search-metrics-v1``
+# snapshot's ``events`` list; wall-clock timings are deliberately excluded
+# so fault-free snapshots stay byte-comparable across runs.
+
+
+@dataclass(frozen=True)
+class WorkerRetry(Event):
+    """A candidate simulation was re-dispatched after a worker failure.
+
+    ``time`` is the global dispatch sequence number at which the failure
+    was detected; ``position`` is the task's index within its batch.
+    """
+
+    KIND: ClassVar[str] = "worker_retry"
+    position: int
+    attempt: int
+    reason: str  # "deadline" | "broken"
+
+
+@dataclass(frozen=True)
+class PoolRebuild(Event):
+    """The supervised evaluator tore down and rebuilt its process pool.
+
+    ``consecutive`` counts pool failures without any collected result so
+    far (it resets on progress); reaching the policy's
+    ``max_pool_failures`` degrades the evaluator to in-process serial
+    simulation.
+    """
+
+    KIND: ClassVar[str] = "pool_rebuild"
+    consecutive: int
+    reason: str  # "deadline" | "broken"
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    """The annealer serialized its full search state to disk.
+
+    ``time`` and ``iteration`` are both the iteration boundary the
+    checkpoint captures; ``evaluations`` is the simulation budget spent at
+    that boundary. The file path is deliberately omitted so snapshots
+    from different checkpoint locations remain comparable.
+    """
+
+    KIND: ClassVar[str] = "checkpoint_written"
+    iteration: int
+    evaluations: int
+
+
 # -- the tracer ----------------------------------------------------------------
 
 

@@ -171,6 +171,9 @@ def build_search_metrics(
     pruned_evaluations: int,
     cache_stats: Optional[Dict[str, object]],
     registry: Optional[MetricsRegistry] = None,
+    supervision: Optional[Dict[str, object]] = None,
+    checkpoints_written: int = 0,
+    events: Optional[Sequence[object]] = None,
 ) -> Dict[str, object]:
     """The JSON-ready metrics snapshot of one layout-search run.
 
@@ -181,6 +184,13 @@ def build_search_metrics(
     either snapshot. When a registry is given, its instruments (e.g. the
     ``sim_cache_*`` counters a :class:`repro.search.SimCache` maintains)
     are folded into the snapshot.
+
+    ``supervision`` is the host-fault supervision summary
+    (:meth:`repro.search.SupervisionStats.snapshot`, ``None`` for
+    unsupervised runs) and ``events`` the typed host-level events
+    (``WorkerRetry``/``PoolRebuild``/``CheckpointWritten``) the run
+    emitted; both deliberately carry no wall-clock fields, so fault-free
+    snapshots stay byte-comparable across runs.
     """
     requested = evaluations + cache_hits
     snapshot: Dict[str, object] = {
@@ -193,6 +203,12 @@ def build_search_metrics(
         "pruned_evaluations": pruned_evaluations,
         "cache_hit_rate": cache_hits / requested if requested else 0.0,
         "sim_cache": cache_stats,
+        "supervision": supervision,
+        "checkpoints_written": checkpoints_written,
+        "events": [
+            event.to_json() if hasattr(event, "to_json") else event
+            for event in (events or [])
+        ],
     }
     if registry is not None:
         snapshot.update(registry.snapshot())

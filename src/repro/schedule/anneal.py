@@ -17,6 +17,21 @@ optionally cut off early once a candidate's simulated clock passes the
 incumbent best (``AnnealConfig.early_cutoff``). Cache hits do **not**
 consume the ``max_evaluations`` budget — only real simulations do; both
 tallies are reported on :class:`AnnealResult`.
+
+Host-level fault tolerance (this layer's :mod:`repro.resilience`
+counterpart) comes in two halves:
+
+* **Supervision** — with ``workers > 1`` the evaluator is wrapped in
+  :class:`repro.search.SupervisedEvaluator`: per-dispatch deadlines,
+  bounded retries, pool rebuilds, and serial degradation, all
+  result-transparent (see :mod:`repro.search.supervise`).
+* **Checkpoint/resume** — ``checkpoint_path`` +
+  ``AnnealConfig.checkpoint_every`` periodically serialize the *full*
+  annealing state (RNG, incumbent, candidates, budget counters, cache) at
+  iteration boundaries (:mod:`repro.search.checkpoint`);
+  ``resume=`` restores one, and the resumed run is bit-identical to an
+  uninterrupted one. ``KeyboardInterrupt`` mid-iteration writes a final
+  checkpoint of the last completed boundary before propagating.
 """
 
 from __future__ import annotations
@@ -65,6 +80,9 @@ class AnnealConfig:
     #: Off by default: pruned candidates carry truncated traces, which
     #: perturbs the critical-path move suggestions for kept-poor layouts.
     early_cutoff: bool = False
+    #: iterations between periodic checkpoint writes, when the search was
+    #: given a checkpoint path; 0 keeps only the interrupt-time write
+    checkpoint_every: int = 1
 
 
 @dataclass
@@ -84,6 +102,14 @@ class AnnealResult:
     pruned_evaluations: int = 0
     #: snapshot of the simulation cache counters (None with the cache off)
     cache_stats: Optional[Dict[str, object]] = None
+    #: host-level supervision counters (None when the evaluator was not
+    #: supervised — serial searches, or ``supervise=False``)
+    supervision: Optional[Dict[str, object]] = None
+    #: periodic checkpoints written (including any restored-from history)
+    checkpoints_written: int = 0
+    #: typed host-level events (WorkerRetry / PoolRebuild /
+    #: CheckpointWritten) in emission order
+    host_events: List[object] = field(default_factory=list)
 
 
 class DirectedSimulatedAnnealing:
@@ -103,6 +129,11 @@ class DirectedSimulatedAnnealing:
         cache: Optional["SimCache"] = None,
         workers: int = 1,
         use_cache: bool = True,
+        supervise: bool = True,
+        retry_policy=None,
+        host_chaos=None,
+        checkpoint_path: Optional[str] = None,
+        resume: Optional[str] = None,
     ):
         self.compiled = compiled
         self.profile = profile
@@ -111,6 +142,8 @@ class DirectedSimulatedAnnealing:
         self.hints = hints
         self.mesh_width = mesh_width
         self.core_speeds = core_speeds
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
         self.rng = random.Random(self.config.seed)
         if group_graph is None:
             from ..core.api import annotated_cstg
@@ -132,16 +165,30 @@ class DirectedSimulatedAnnealing:
                 core_speeds=core_speeds,
                 cache=self.cache,
                 workers=workers,
+                supervise=supervise,
+                policy=retry_policy,
+                chaos=host_chaos,
             )
         self.evaluator = evaluator
         self.evaluations = 0
         self.cache_hits = 0
         self.pruned_evaluations = 0
+        self.checkpoints_written = 0
+        #: CheckpointWritten events, restored across resumes
+        self._checkpoint_events: List[object] = []
+        #: last completed-iteration boundary state (interrupt target)
+        self._boundary = None
 
     def close(self) -> None:
         """Releases the evaluator's workers, if this search created them."""
         if self._owns_evaluator:
             self.evaluator.close()
+
+    def __enter__(self) -> "DirectedSimulatedAnnealing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -232,18 +279,117 @@ class DirectedSimulatedAnnealing:
             )]
         return layouts
 
+    # -- checkpointing ------------------------------------------------------------------
+
+    def _capture_boundary(
+        self, iterations, best_layout, best_cycles, candidates, history,
+        patience, initial_snapshot,
+    ) -> None:
+        """Snapshots the completed-iteration state. Cheap (references plus
+        RNG/counter copies), so it runs every iteration while
+        checkpointing is active — an interrupt mid-iteration then saves
+        the last *boundary*, never a half-mutated state."""
+        from ..search.checkpoint import SearchCheckpoint, config_digest
+
+        self._boundary = SearchCheckpoint(
+            iteration=iterations,
+            rng_state=self.rng.getstate(),
+            best_layout=best_layout,
+            best_cycles=best_cycles,
+            candidates=list(candidates),
+            history=list(history),
+            patience=patience,
+            evaluations=self.evaluations,
+            cache_hits=self.cache_hits,
+            pruned_evaluations=self.pruned_evaluations,
+            initial_layouts=list(initial_snapshot),
+            cache_state=self.cache.state() if self.cache is not None else None,
+            checkpoints_written=self.checkpoints_written,
+            checkpoint_events=list(self._checkpoint_events),
+            config_digest=config_digest(self.config),
+        )
+
+    def write_final_checkpoint(self) -> Optional[str]:
+        """Writes the last completed iteration boundary (the interrupt
+        path); returns the path, or None when checkpointing is off or no
+        iteration has completed yet."""
+        if self.checkpoint_path is None or self._boundary is None:
+            return None
+        from ..search.checkpoint import write_checkpoint
+
+        write_checkpoint(self.checkpoint_path, self._boundary)
+        return self.checkpoint_path
+
+    def _restore(self, config: AnnealConfig):
+        """Restores the state a ``resume=`` checkpoint captured."""
+        from ..search.checkpoint import (
+            CheckpointError,
+            config_digest,
+            read_checkpoint,
+        )
+
+        state = read_checkpoint(self.resume)
+        digest = config_digest(config)
+        if state.config_digest and state.config_digest != digest:
+            raise CheckpointError(
+                f"checkpoint {self.resume!r} was written under a different "
+                "anneal schedule; resuming would diverge from both runs "
+                "(only max_iterations and the checkpoint cadence may change)"
+            )
+        self.rng.setstate(state.rng_state)
+        self.evaluations = state.evaluations
+        self.cache_hits = state.cache_hits
+        self.pruned_evaluations = state.pruned_evaluations
+        self.checkpoints_written = state.checkpoints_written
+        self._checkpoint_events = list(state.checkpoint_events)
+        if self.cache is not None and state.cache_state is not None:
+            self.cache.restore(state.cache_state)
+        return state
+
     # -- main loop ----------------------------------------------------------------------
 
     def run(self, initial: Optional[List[Layout]] = None) -> AnnealResult:
         config = self.config
-        candidates = self.initial_layouts(initial)
-        initial_snapshot = list(candidates)
-        best_layout = candidates[0]
-        best_cycles = 1 << 62
-        history: List[int] = []
-        patience = config.patience
-        iterations = 0
+        if self.resume is not None:
+            state = self._restore(config)
+            candidates = list(state.candidates)
+            initial_snapshot = list(state.initial_layouts)
+            best_layout = state.best_layout
+            best_cycles = state.best_cycles
+            history = list(state.history)
+            patience = state.patience
+            iterations = state.iteration
+        else:
+            candidates = self.initial_layouts(initial)
+            initial_snapshot = list(candidates)
+            best_layout = candidates[0]
+            best_cycles = 1 << 62
+            history = []
+            patience = config.patience
+            iterations = 0
 
+        checkpointing = self.checkpoint_path is not None
+        if checkpointing and self.resume is not None:
+            # An interrupt before the first post-resume boundary must
+            # still have something to save.
+            self._capture_boundary(
+                iterations, best_layout, best_cycles, candidates, history,
+                patience, initial_snapshot,
+            )
+        try:
+            return self._search(
+                config, candidates, initial_snapshot, best_layout,
+                best_cycles, history, patience, iterations, checkpointing,
+            )
+        except KeyboardInterrupt:
+            if checkpointing:
+                self.write_final_checkpoint()
+            raise
+
+    def _search(
+        self, config, candidates, initial_snapshot, best_layout, best_cycles,
+        history, patience, iterations, checkpointing,
+    ) -> AnnealResult:
         while iterations < config.max_iterations:
             iterations += 1
             # Score the whole candidate set as one batch. The cutoff is the
@@ -315,7 +461,13 @@ class DirectedSimulatedAnnealing:
             candidates = next_candidates
             if not candidates:
                 break
+            if checkpointing:
+                self._checkpoint_boundary(
+                    config, iterations, best_layout, best_cycles, candidates,
+                    history, patience, initial_snapshot,
+                )
 
+        stats = getattr(self.evaluator, "stats", None)
         return AnnealResult(
             best_layout=best_layout,
             best_cycles=best_cycles,
@@ -327,7 +479,44 @@ class DirectedSimulatedAnnealing:
             requested_evaluations=self.evaluations + self.cache_hits,
             pruned_evaluations=self.pruned_evaluations,
             cache_stats=self.cache.stats() if self.cache is not None else None,
+            supervision=stats.snapshot() if stats is not None else None,
+            checkpoints_written=self.checkpoints_written,
+            host_events=(
+                (list(stats.events) if stats is not None else [])
+                + list(self._checkpoint_events)
+            ),
         )
+
+    def _checkpoint_boundary(
+        self, config, iterations, best_layout, best_cycles, candidates,
+        history, patience, initial_snapshot,
+    ) -> None:
+        """End-of-iteration bookkeeping: count a due periodic write
+        *before* capturing, so the checkpoint's own counters include it —
+        that is what makes a resumed run's accounting bit-identical."""
+        from ..obs.events import CheckpointWritten
+
+        due = (
+            config.checkpoint_every > 0
+            and iterations % config.checkpoint_every == 0
+        )
+        if due:
+            self.checkpoints_written += 1
+            self._checkpoint_events.append(
+                CheckpointWritten(
+                    time=iterations,
+                    iteration=iterations,
+                    evaluations=self.evaluations,
+                )
+            )
+        self._capture_boundary(
+            iterations, best_layout, best_cycles, candidates, history,
+            patience, initial_snapshot,
+        )
+        if due:
+            from ..search.checkpoint import write_checkpoint
+
+            write_checkpoint(self.checkpoint_path, self._boundary)
 
 
 def directed_simulated_annealing(
@@ -342,14 +531,22 @@ def directed_simulated_annealing(
     workers: int = 1,
     cache: Optional["SimCache"] = None,
     use_cache: bool = True,
+    supervise: bool = True,
+    retry_policy=None,
+    host_chaos=None,
+    checkpoint_path: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> AnnealResult:
-    """Runs DSA and returns the best layout found."""
-    dsa = DirectedSimulatedAnnealing(
+    """Runs DSA and returns the best layout found. ``resume=`` restores a
+    checkpoint written by an earlier (interrupted) run with the same
+    schedule; the resumed result is bit-identical to an uninterrupted
+    run's."""
+    with DirectedSimulatedAnnealing(
         compiled, profile, num_cores, config=config, hints=hints,
         mesh_width=mesh_width, core_speeds=core_speeds,
         workers=workers, cache=cache, use_cache=use_cache,
-    )
-    try:
+        supervise=supervise, retry_policy=retry_policy,
+        host_chaos=host_chaos, checkpoint_path=checkpoint_path,
+        resume=resume,
+    ) as dsa:
         return dsa.run(initial)
-    finally:
-        dsa.close()

@@ -17,13 +17,39 @@ This package factors the evaluation out of the annealer into:
 * early cutoff: a candidate whose simulated clock passes the incumbent
   best stops immediately (``AnnealConfig.early_cutoff``).
 
+Because the search may run for hours on a real host, the package is also
+fault-tolerant at the *host* level (distinct from the simulated-machine
+resilience of :mod:`repro.resilience`):
+
+* :mod:`repro.search.supervise` — deadlines from an EWMA of observed
+  simulation times, bounded retries with deterministic backoff, pool
+  teardown/rebuild on crashes and hangs, and graceful degradation to
+  serial evaluation — all result-transparent (bit-identical to a
+  fault-free run) because simulation is deterministic,
+* :mod:`repro.search.checkpoint` — atomic, digest-verified
+  checkpoint/resume of the full annealing state
+  (``AnnealConfig.checkpoint_every``; resumed runs are bit-identical to
+  uninterrupted ones), and
+* :mod:`repro.search.hostchaos` — a seeded host-chaos harness injecting
+  worker crashes and hangs and machine-checking the supervision
+  invariants.
+
 The user-facing switchboard is :class:`repro.SynthesisOptions`
-(``workers=``, ``sim_cache=``, ``cache=``, ``cache_entries=``).
+(``workers=``, ``sim_cache=``, ``cache=``, ``cache_entries=``,
+``supervise=``, ``checkpoint_path=``, ``resume=``, ``host_chaos=``).
 """
 
 from .cache import CacheEntry, SimCache
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    SearchCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .evaluator import (
     BatchOutcome,
+    EvaluationError,
     Evaluator,
     INFEASIBLE_CYCLES,
     ParallelEvaluator,
@@ -31,15 +57,36 @@ from .evaluator import (
     SerialEvaluator,
     make_evaluator,
 )
+from .hostchaos import (
+    HostChaosPlan,
+    HostChaosReport,
+    HostChaosRun,
+    HostFault,
+    run_host_chaos,
+)
+from .supervise import RetryPolicy, SupervisedEvaluator, SupervisionStats
 
 __all__ = [
     "BatchOutcome",
+    "CHECKPOINT_FORMAT",
     "CacheEntry",
+    "CheckpointError",
+    "EvaluationError",
     "Evaluator",
+    "HostChaosPlan",
+    "HostChaosReport",
+    "HostChaosRun",
+    "HostFault",
     "INFEASIBLE_CYCLES",
     "ParallelEvaluator",
+    "RetryPolicy",
     "ScoredLayout",
+    "SearchCheckpoint",
     "SerialEvaluator",
     "SimCache",
+    "SupervisedEvaluator",
+    "SupervisionStats",
     "make_evaluator",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

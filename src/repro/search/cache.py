@@ -122,6 +122,44 @@ class SimCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    # -- checkpoint support --------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """A restorable snapshot of the cache: entries (in LRU order) plus
+        every counter.
+
+        Entries are shared by reference — ``put`` replaces entry objects
+        and never mutates them, so a snapshot taken at an iteration
+        boundary stays valid even while the search keeps inserting. The
+        annealer captures one per boundary so an interrupt mid-iteration
+        can checkpoint the boundary state, not the half-mutated one.
+        """
+        return {
+            "entries": list(self._entries.items()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bound_misses": self.bound_misses,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restores a :meth:`state` snapshot, counters included, so a
+        resumed search reports bit-identical cache statistics."""
+        self._entries = OrderedDict(state["entries"])
+        if self.registry is not None:
+            # Replay the restored totals into the attached registry so the
+            # ``sim_cache_*`` counters of a resumed run match an
+            # uninterrupted one (a resumed synthesis starts with a fresh
+            # registry but a warm cache).
+            for name in ("hits", "misses", "evictions", "bound_misses"):
+                delta = state[name] - getattr(self, name)
+                if delta > 0:
+                    self.registry.counter(f"sim_cache_{name}").inc(delta)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+        self.bound_misses = state["bound_misses"]
+
     # -- reporting -----------------------------------------------------------
 
     @property

@@ -1,0 +1,162 @@
+"""Checkpoint/resume for directed simulated annealing.
+
+A multi-hour search (the paper's Fig. 10 workload at scale) must survive
+an interrupted process. :class:`SearchCheckpoint` captures the *complete*
+annealing state at an iteration boundary — RNG state, incumbent, the
+candidate set for the next iteration, budget counters, patience, history,
+and the simulation cache — so
+:func:`repro.schedule.anneal.directed_simulated_annealing` can resume it
+and produce a run bit-identical to an uninterrupted one (test-enforced
+per benchmark).
+
+File format (``repro.search/checkpoint-v1``)
+--------------------------------------------
+
+One ASCII JSON header line, then the pickled payload::
+
+    {"format": "repro.search/checkpoint-v1", "digest": "<sha256>", ...}\n
+    <pickle bytes>
+
+The digest covers the payload bytes, so truncation and corruption are
+detected before unpickling. Writes are atomic (write ``<path>.tmp`` in
+the same directory, fsync, then ``os.replace``), so a crash mid-write
+leaves the previous checkpoint intact — there is never a moment with no
+valid checkpoint on disk.
+
+Compatibility policy: the format version is bumped on any payload shape
+change and old versions are *not* migrated — a checkpoint is a crash
+artifact, not an archive. Resuming also re-checks that the anneal
+schedule matches the one the checkpoint was written under, because
+resuming under different search parameters would silently diverge from
+both runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.errors import BambooError
+from ..schedule.layout import Layout
+
+CHECKPOINT_FORMAT = "repro.search/checkpoint-v1"
+
+
+class CheckpointError(BambooError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+@dataclass
+class SearchCheckpoint:
+    """Full annealing state at one iteration boundary."""
+
+    #: completed iterations at this boundary
+    iteration: int
+    #: ``random.Random.getstate()`` of the annealer's RNG
+    rng_state: Tuple
+    best_layout: Layout
+    best_cycles: int
+    #: the candidate set entering the next iteration
+    candidates: List[Layout]
+    history: List[int]
+    patience: int
+    #: budget counters (real simulations / cache hits / cutoff prunes)
+    evaluations: int
+    cache_hits: int
+    pruned_evaluations: int
+    initial_layouts: List[Layout]
+    #: ``SimCache.state()`` snapshot, or None when the cache is off
+    cache_state: Optional[Dict[str, object]] = None
+    #: periodic checkpoints written up to (and including) this boundary
+    checkpoints_written: int = 0
+    #: serialized CheckpointWritten events up to this boundary
+    checkpoint_events: List[Dict[str, object]] = field(default_factory=list)
+    #: fingerprint of the anneal schedule this state was produced under
+    config_digest: str = ""
+
+
+def config_digest(config) -> str:
+    """A stable fingerprint of an :class:`AnnealConfig`, used to refuse
+    resuming under different search parameters. Checkpoint cadence fields
+    are excluded — re-checkpointing differently is legal — and so is
+    ``max_iterations``: it is a pure stop condition that never affects
+    the per-iteration trajectory, so extending an interrupted short run
+    into a longer one is a supported (and test-exercised) resume."""
+    from dataclasses import asdict
+
+    fields = asdict(config)
+    fields.pop("checkpoint_every", None)
+    fields.pop("max_iterations", None)
+    payload = json.dumps(fields, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def write_checkpoint(path: str, checkpoint: SearchCheckpoint) -> None:
+    """Atomically serializes ``checkpoint`` to ``path``."""
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "format": CHECKPOINT_FORMAT,
+        "digest": hashlib.sha256(payload).hexdigest(),
+        "iteration": checkpoint.iteration,
+        "evaluations": checkpoint.evaluations,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(json.dumps(header, sort_keys=True).encode("ascii"))
+        handle.write(b"\n")
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    # Persist the rename too, so the checkpoint survives a host crash.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def read_checkpoint(path: str) -> SearchCheckpoint:
+    """Loads and verifies a checkpoint; raises :class:`CheckpointError`
+    on any missing, corrupt, or incompatible file."""
+    try:
+        with open(path, "rb") as handle:
+            header_line = handle.readline()
+            payload = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    try:
+        header = json.loads(header_line.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise CheckpointError(f"{path!r} is not a search checkpoint")
+    found = header.get("format")
+    if found != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path!r} has checkpoint format {found!r}, expected "
+            f"{CHECKPOINT_FORMAT!r} (old formats are not migrated)"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("digest"):
+        raise CheckpointError(
+            f"{path!r} is corrupt: payload digest mismatch "
+            f"(expected {header.get('digest')}, got {digest})"
+        )
+    try:
+        checkpoint = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"cannot unpickle checkpoint {path!r}: {exc}")
+    if not isinstance(checkpoint, SearchCheckpoint):
+        raise CheckpointError(
+            f"{path!r} does not contain a SearchCheckpoint"
+        )
+    return checkpoint

@@ -31,6 +31,8 @@ and cutoff policies — which the contract pins down.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
@@ -52,6 +54,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sentinel cycle count for simulations that did not finish — worse than
 #: any real layout, so unfinishable candidates always rank last.
 INFEASIBLE_CYCLES = 1 << 62
+
+
+class EvaluationError(RuntimeError):
+    """A candidate simulation failed inside a worker process.
+
+    Carries the failing layout's position within the dispatched batch so
+    a multi-hour search that dies on one candidate says *which* one.
+    """
+
+    def __init__(self, position: int, batch_size: int, cause: BaseException):
+        super().__init__(
+            f"simulation of layout {position + 1}/{batch_size} in batch "
+            f"failed: {type(cause).__name__}: {cause}"
+        )
+        self.position = position
+        self.batch_size = batch_size
+
+
+#: Live pool-backed evaluators, closed at interpreter exit so an exception
+#: mid-batch can't leave orphaned worker processes hanging shutdown.
+_LIVE_EVALUATORS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_evaluators() -> None:  # pragma: no cover - interpreter exit
+    for evaluator in list(_LIVE_EVALUATORS):
+        try:
+            evaluator.close()
+        except Exception:
+            pass
 
 
 @dataclass
@@ -90,6 +122,12 @@ class Evaluator(Protocol):
 
     def close(self) -> None:
         """Releases backend resources (worker processes)."""
+        ...  # pragma: no cover - protocol
+
+    def __enter__(self) -> "Evaluator":
+        ...  # pragma: no cover - protocol
+
+    def __exit__(self, *exc_info) -> None:
         ...  # pragma: no cover - protocol
 
 
@@ -201,6 +239,12 @@ class _EvaluatorBase:
     def close(self) -> None:
         """Nothing to release by default."""
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 class SerialEvaluator(_EvaluatorBase):
     """In-process, in-order evaluation — the reference backend."""
@@ -222,6 +266,19 @@ class SerialEvaluator(_EvaluatorBase):
 
 
 # -- process-pool backend ------------------------------------------------------
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Shuts a pool down without stranding queued work.
+
+    ``cancel_futures`` (py >= 3.9) drops everything still queued so the
+    shutdown cannot deadlock behind an abandoned batch; on older runtimes
+    the plain shutdown is the best available.
+    """
+    try:
+        executor.shutdown(wait=True, cancel_futures=True)
+    except TypeError:  # pragma: no cover - py < 3.9 fallback
+        executor.shutdown(wait=True)
 
 #: Per-worker simulation context, installed by the pool initializer.
 _WORKER_CONTEXT: Dict[str, object] = {}
@@ -273,6 +330,7 @@ class ParallelEvaluator(_EvaluatorBase):
             )
         self.workers = workers
         self._executor: Optional[ProcessPoolExecutor] = None
+        _LIVE_EVALUATORS.add(self)
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -301,12 +359,18 @@ class ParallelEvaluator(_EvaluatorBase):
             pool.submit(_simulate_in_worker, layout, cutoff)
             for layout in layouts
         ]
-        return [future.result() for future in futures]
+        results: List[SimResult] = []
+        for position, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise EvaluationError(position, len(futures), exc) from exc
+        return results
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            _shutdown_executor(executor)
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -322,9 +386,32 @@ def make_evaluator(
     core_speeds: Optional[Dict[int, float]] = None,
     cache: Optional[SimCache] = None,
     workers: int = 1,
+    supervise: bool = False,
+    policy=None,
+    chaos=None,
 ) -> Evaluator:
-    """Builds the right backend for ``workers``."""
+    """Builds the right backend for ``workers``.
+
+    With ``supervise=True`` (or an explicit retry ``policy`` / ``chaos``
+    plan) a multi-worker evaluator is wrapped in host-fault supervision:
+    deadlines, bounded retries, pool rebuilds, and serial degradation —
+    see :mod:`repro.search.supervise`. Serial evaluation has no worker
+    processes to supervise, so ``workers=1`` ignores these knobs.
+    """
     if workers > 1:
+        if supervise or policy is not None or chaos is not None:
+            from .supervise import SupervisedEvaluator
+
+            return SupervisedEvaluator(
+                compiled,
+                profile,
+                hints=hints,
+                core_speeds=core_speeds,
+                cache=cache,
+                workers=workers,
+                policy=policy,
+                chaos=chaos,
+            )
         return ParallelEvaluator(
             compiled,
             profile,

@@ -56,6 +56,72 @@ class TestRunCommand:
         assert "Layout on 4 cores" in captured.err
         assert "synthesis" in captured.err
 
+    def test_checkpoint_then_resume_reproduces_the_run(
+        self, program_file, tmp_path, capsys
+    ):
+        checkpoint = str(tmp_path / "search.ckpt")
+        assert main(
+            ["run", program_file, "6", "--cores", "4",
+             "--checkpoint", checkpoint]
+        ) == 0
+        first = capsys.readouterr()
+        assert (tmp_path / "search.ckpt").exists()
+        assert main(
+            ["run", program_file, "6", "--cores", "4",
+             "--resume", checkpoint]
+        ) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        # the resumed synthesis lands on the same machine execution
+        assert "cycles on 4 cores" in second.err
+
+    def test_resume_from_missing_checkpoint_fails_cleanly(
+        self, program_file, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "absent.ckpt")
+        assert main(
+            ["run", program_file, "6", "--cores", "4", "--resume", missing]
+        ) == 1
+        assert "cannot read checkpoint" in capsys.readouterr().err
+
+    def test_resume_from_corrupt_checkpoint_fails_cleanly(
+        self, program_file, tmp_path, capsys
+    ):
+        path = tmp_path / "corrupt.ckpt"
+        path.write_bytes(b"not a checkpoint at all\n")
+        assert main(
+            ["run", program_file, "6", "--cores", "4",
+             "--resume", str(path)]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_host_chaos_sweep(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "6", "--cores", "4", "--host-chaos", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "host chaos" in out
+        assert "all invariants held" in out
+
+    def test_interrupt_reports_checkpoint_and_exits_130(
+        self, program_file, tmp_path, capsys, monkeypatch
+    ):
+        import repro.core.pipeline as pipeline
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(pipeline, "synthesize_layout", interrupt)
+        monkeypatch.setattr("repro.cli.synthesize_layout", interrupt)
+        checkpoint = str(tmp_path / "search.ckpt")
+        assert main(
+            ["run", program_file, "6", "--cores", "4",
+             "--checkpoint", checkpoint]
+        ) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert f"--resume {checkpoint}" in err
+
 
 class TestCstgCommand:
     def test_text_output(self, program_file, capsys):

@@ -35,6 +35,7 @@ from repro.schedule.mapping import layout_fingerprint, random_layouts
 from repro.schedule.simulator import SimResult
 from repro.search import (
     CacheEntry,
+    EvaluationError,
     ParallelEvaluator,
     SerialEvaluator,
     SimCache,
@@ -367,6 +368,60 @@ class TestEvaluatorContract:
         for before, after in zip(full.scored, cut.scored):
             if after.result.pruned:
                 assert after.cycles > best or after.cycles == before.cycles
+
+    def test_worker_exception_carries_batch_position(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+
+        class FailingFuture:
+            def result(self, timeout=None):
+                raise ValueError("boom")
+
+        class FailingPool:
+            def submit(self, fn, *args):
+                return FailingFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        evaluator = ParallelEvaluator(compiled, profile, workers=2)
+        evaluator._executor = FailingPool()
+        with pytest.raises(EvaluationError) as excinfo:
+            evaluator._simulate(layouts[:3], None)
+        assert excinfo.value.position == 0
+        assert excinfo.value.batch_size == 3
+        assert "layout 1/3" in str(excinfo.value)
+        assert "ValueError: boom" in str(excinfo.value)
+
+    def test_single_layout_shortcut_never_touches_the_pool(
+        self, keyword_setup
+    ):
+        compiled, profile, layouts = keyword_setup
+
+        class DeadPool:
+            def submit(self, fn, *args):
+                raise AssertionError("single-layout batch reached the pool")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        serial = SerialEvaluator(compiled, profile)
+        parallel = ParallelEvaluator(compiled, profile, workers=2)
+        parallel._executor = DeadPool()
+        with serial, parallel:
+            expected = serial.evaluate(layouts[:1])
+            got = parallel.evaluate(layouts[:1])
+        assert [s.cycles for s in got.scored] == [
+            s.cycles for s in expected.scored
+        ]
+
+    def test_evaluator_context_manager_closes_pool(self, keyword_setup):
+        compiled, profile, layouts = keyword_setup
+        with ParallelEvaluator(compiled, profile, workers=2) as evaluator:
+            evaluator.evaluate(layouts[:3])
+            assert evaluator._executor is not None
+        assert evaluator._executor is None
+        # close() is idempotent
+        evaluator.close()
 
 
 class TestOptionsShims:
