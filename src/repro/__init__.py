@@ -13,6 +13,9 @@ Subpackages:
   many-core machine simulator.
 * :mod:`repro.core` — the public API.
 * :mod:`repro.search` — the parallel, memoized layout-evaluation engine.
+* :mod:`repro.serve` — the synthesis daemon: compile/profile/synthesize/
+  simulate served over a socket, with a disk-persistent simulation cache
+  shared across requests and restarts (results bit-identical to offline).
 * :mod:`repro.bench` — the paper's benchmarks and experiment runners.
 * :mod:`repro.viz` — DOT/text visualization.
 

@@ -35,6 +35,19 @@ Commands
     Print the profile-annotated CSTG (optionally as Graphviz DOT).
 ``bench NAME [--cores N]``
     Run one of the paper's benchmarks through the Figure 7 protocol.
+``serve [--cache FILE] [--port N]``
+    Start the synthesis daemon (:mod:`repro.serve`): compile / profile /
+    synthesize / simulate served over newline-delimited JSON, with a
+    disk-persistent simulation cache shared across requests and
+    restarts. ``--max-concurrency``/``--queue-limit`` bound admission
+    (excess requests are load-shed), ``--workers`` fans each search
+    across worker processes.
+``request OP [FILE [ARGS...]] --port N``
+    Send one request to a running daemon and print the deterministic
+    result JSON on stdout (telemetry goes to stderr). With ``--offline``
+    the same operation runs in-process through the identical code path —
+    the two stdouts are byte-comparable, which is how CI checks the
+    serving-transparency contract.
 """
 
 from __future__ import annotations
@@ -234,6 +247,122 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_path=args.cache,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        flush_interval=args.flush_interval,
+    )
+
+    def announce(server):
+        print(
+            f"repro.serve: listening on {server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        print(
+            f"repro.serve: {server.load_report.describe()}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return run_server(config, announce=announce)
+
+
+_HEAVY_REQUEST_OPS = ("compile", "profile", "synthesize", "simulate")
+
+
+def _request_params(args: argparse.Namespace) -> dict:
+    """The request parameters shared by the online and offline paths."""
+    if not args.file:
+        raise BambooError(f"operation {args.op!r} needs a program FILE")
+    with open(args.file, "r") as handle:
+        source = handle.read()
+    params = {
+        "source": source,
+        "filename": args.file,
+        "args": list(args.args),
+        "optimize": args.optimize,
+    }
+    if args.op in ("synthesize", "simulate"):
+        params["cores"] = args.cores
+        if args.mesh_width is not None:
+            params["mesh_width"] = args.mesh_width
+    if args.op == "synthesize":
+        params["seed"] = args.seed
+        if args.max_iterations is not None:
+            params["max_iterations"] = args.max_iterations
+        if args.max_evaluations is not None:
+            params["max_evaluations"] = args.max_evaluations
+    if args.op == "simulate":
+        import json
+
+        if not args.mapping:
+            raise BambooError(
+                "simulate needs --mapping '{\"Task\": [cores...], ...}'"
+            )
+        params["layout"] = json.loads(args.mapping)
+    return params
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    heavy = args.op in _HEAVY_REQUEST_OPS
+    if args.offline:
+        if not heavy:
+            print(
+                f"error: --offline only applies to "
+                f"{', '.join(_HEAVY_REQUEST_OPS)}",
+                file=sys.stderr,
+            )
+            return 2
+        from .serve import (
+            execute_compile,
+            execute_profile,
+            execute_simulate,
+            execute_synthesize,
+        )
+
+        executors = {
+            "compile": execute_compile,
+            "profile": execute_profile,
+            "synthesize": execute_synthesize,
+            "simulate": execute_simulate,
+        }
+        result, telemetry = executors[args.op](_request_params(args))
+    else:
+        if args.port is None:
+            print(
+                "error: --port is required (or use --offline)",
+                file=sys.stderr,
+            )
+            return 2
+        from .serve import ServeClient
+
+        params = _request_params(args) if heavy else {}
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            response = client.call(args.op, **params)
+        result = response["result"]
+        telemetry = response.get("telemetry")
+    # The deterministic result alone goes to stdout (sorted keys), so a
+    # served stdout and an --offline stdout are byte-comparable.
+    print(json.dumps(result, sort_keys=True, indent=2))
+    if telemetry is not None:
+        print(
+            f"[telemetry: {json.dumps(telemetry, sort_keys=True)}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_cstg(args: argparse.Namespace) -> int:
     compiled = _load(args.file)
     profile = profile_program(compiled, args.args)
@@ -378,6 +507,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cores", type=int, default=62)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the synthesis daemon (repro.serve)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 picks an ephemeral one, announced on stderr)",
+    )
+    p_serve.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help="persist the shared simulation cache here (atomic writes; "
+             "restored on restart, so repeated requests stay warm)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency", type=int, default=2, metavar="N",
+        help="heavy requests executing at once",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="heavy requests allowed to wait; beyond this the daemon "
+             "load-sheds with an 'overloaded' error",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per layout search (bit-identical results)",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="LRU bound per context cache (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--flush-interval", type=float, default=0.25, metavar="SECONDS",
+        help="write-behind flush period for the persistent cache",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_request = sub.add_parser(
+        "request", help="send one request to a running daemon"
+    )
+    p_request.add_argument(
+        "op",
+        choices=(
+            "ping", "metrics", "flush", "shutdown",
+            "compile", "profile", "synthesize", "simulate",
+        ),
+    )
+    p_request.add_argument("file", nargs="?", default=None)
+    p_request.add_argument("args", nargs="*")
+    p_request.add_argument("--host", default="127.0.0.1")
+    p_request.add_argument("--port", type=int, default=None)
+    p_request.add_argument("--timeout", type=float, default=300.0)
+    p_request.add_argument("--cores", type=int, default=8)
+    p_request.add_argument("--seed", type=int, default=0)
+    p_request.add_argument("--mesh-width", type=int, default=None)
+    p_request.add_argument("--max-iterations", type=int, default=None)
+    p_request.add_argument("--max-evaluations", type=int, default=None)
+    p_request.add_argument(
+        "--mapping", metavar="JSON", default=None,
+        help="explicit layout for simulate: '{\"Task\": [0, 1], ...}'",
+    )
+    p_request.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="run the scalar IR optimization passes",
+    )
+    p_request.add_argument(
+        "--offline", action="store_true",
+        help="run the operation in-process instead of contacting a "
+             "daemon; stdout is byte-identical to the served result",
+    )
+    p_request.set_defaults(func=_cmd_request)
 
     return parser
 

@@ -35,6 +35,7 @@ from .metrics import (
     MetricsRegistry,
     build_metrics,
     build_search_metrics,
+    build_serve_metrics,
     cycle_accounting,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "WorkerRetry",
     "build_metrics",
     "build_search_metrics",
+    "build_serve_metrics",
     "chrome_trace",
     "cycle_accounting",
     "legacy_line",

@@ -56,6 +56,7 @@ from .events import (
 
 SCHEMA = "repro.obs/metrics-v1"
 SEARCH_SCHEMA = "repro.obs/search-metrics-v1"
+SERVE_SCHEMA = "repro.obs/serve-metrics-v1"
 
 
 class Counter:
@@ -213,6 +214,50 @@ def build_search_metrics(
     if registry is not None:
         snapshot.update(registry.snapshot())
     return snapshot
+
+
+# -- serving metrics -----------------------------------------------------------
+
+
+def build_serve_metrics(
+    *,
+    registry: MetricsRegistry,
+    store: Dict[str, object],
+    memo: Dict[str, object],
+    load_report: Dict[str, object],
+    uptime_seconds: float,
+    admitted: int,
+    capacity: int,
+) -> Dict[str, object]:
+    """The JSON-ready metrics snapshot of one synthesis daemon.
+
+    Served through the ``metrics`` operation of :mod:`repro.serve`: the
+    registry carries the per-operation request counters and latency
+    histograms plus the load-shed/coalesce counters and the ``sim_cache_*``
+    counters of every context cache; ``store``/``memo`` are the
+    :meth:`repro.serve.SimCacheStore.stats` and
+    :meth:`repro.serve.ProgramMemo.stats` snapshots, and ``load_report``
+    records what happened to the persistent cache file at startup.
+    """
+    requests = registry.counter("serve_requests").value
+    shed = registry.counter("serve_shed").value
+    hits = registry.counter("serve_cache_hits").value
+    evaluations = registry.counter("serve_evaluations").value
+    requested = hits + evaluations
+    return {
+        "schema": SERVE_SCHEMA,
+        "uptime_seconds": uptime_seconds,
+        "admitted": admitted,
+        "capacity": capacity,
+        "requests": requests,
+        "shed": shed,
+        "shed_rate": shed / requests if requests else 0.0,
+        "cache_hit_rate": hits / requested if requested else 0.0,
+        "store": store,
+        "memo": memo,
+        "load_report": load_report,
+        **registry.snapshot(),
+    }
 
 
 # -- cycle accounting ----------------------------------------------------------

@@ -80,6 +80,15 @@ class AnnealConfig:
     #: Off by default: pruned candidates carry truncated traces, which
     #: perturbs the critical-path move suggestions for kept-poor layouts.
     early_cutoff: bool = False
+    #: charge the ``max_evaluations`` budget per evaluation *request*
+    #: (cache hits included) instead of per real simulation. Off by
+    #: default — offline searches want hits to be budget-free. The serving
+    #: layer (:mod:`repro.serve`) turns it on so a search against a warm
+    #: persistent cache follows the exact trajectory of the cold run:
+    #: with hits budget-free, a warm cache would leave the budget
+    #: unspent and let the search run longer, breaking the served
+    #: warm/cold bit-identity contract.
+    budget_charges_hits: bool = False
     #: iterations between periodic checkpoint writes, when the search was
     #: given a checkpoint path; 0 keeps only the interrupt-time write
     checkpoint_every: int = 1
@@ -390,21 +399,26 @@ class DirectedSimulatedAnnealing:
         self, config, candidates, initial_snapshot, best_layout, best_cycles,
         history, patience, iterations, checkpointing,
     ) -> AnnealResult:
+        charge_hits = config.budget_charges_hits
         while iterations < config.max_iterations:
             iterations += 1
             # Score the whole candidate set as one batch. The cutoff is the
             # incumbent best *entering* the iteration — fixed for the batch,
             # so the outcome cannot depend on evaluation order or worker
-            # count. Budget counts real simulations only.
+            # count. Budget counts real simulations only, unless
+            # ``budget_charges_hits`` charges every request (the serve
+            # mode's cache-state-independent budget).
             cutoff = (
                 best_cycles
                 if config.early_cutoff and best_cycles < (1 << 62)
                 else None
             )
+            spent = self.evaluations + (self.cache_hits if charge_hits else 0)
             outcome = self.evaluator.evaluate(
                 candidates,
                 cutoff=cutoff,
-                budget=config.max_evaluations - self.evaluations,
+                budget=config.max_evaluations - spent,
+                charge_hits=charge_hits,
             )
             self.evaluations += outcome.simulations
             self.cache_hits += outcome.cache_hits
@@ -419,7 +433,8 @@ class DirectedSimulatedAnnealing:
                 best_cycles, best_layout = scored[0][0], scored[0][1]
             history.append(best_cycles)
 
-            if self.evaluations >= config.max_evaluations:
+            spent = self.evaluations + (self.cache_hits if charge_hits else 0)
+            if spent >= config.max_evaluations:
                 break
 
             # Probabilistic pruning: keep the best layouts with certainty,

@@ -57,6 +57,13 @@ from .evaluator import (
     SerialEvaluator,
     make_evaluator,
 )
+from .storage import (
+    StorageError,
+    read_pickle_record,
+    read_record,
+    write_pickle_record,
+    write_record,
+)
 from .hostchaos import (
     HostChaosPlan,
     HostChaosReport,
@@ -84,9 +91,14 @@ __all__ = [
     "SearchCheckpoint",
     "SerialEvaluator",
     "SimCache",
+    "StorageError",
     "SupervisedEvaluator",
     "SupervisionStats",
     "make_evaluator",
     "read_checkpoint",
+    "read_pickle_record",
+    "read_record",
     "write_checkpoint",
+    "write_pickle_record",
+    "write_record",
 ]

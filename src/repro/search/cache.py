@@ -20,10 +20,19 @@ Hit / miss / eviction / bound-upgrade counts are kept both as plain
 integers and, when a :class:`repro.obs.MetricsRegistry` is attached, as
 ``sim_cache_*`` counters so they export through the observability
 pipeline alongside machine metrics.
+
+The cache is safe for concurrent use: one :mod:`repro.serve` daemon
+shares an instance across request-handler threads, so every LRU mutation
+and counter delta (including the registry replay) happens under one
+re-entrant lock, and :meth:`cache_stats` takes its whole snapshot inside
+it — a reader never observes a half-applied update (e.g. a hit counted
+but the entry not yet moved to the LRU tail). The single-threaded anneal
+loop pays only an uncontended-lock acquire per lookup.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
@@ -61,6 +70,9 @@ class SimCache:
         #: misses caused by a bound entry that could not answer the lookup
         self.bound_misses = 0
         self.registry = registry
+        #: guards the LRU order, the counters, and their registry deltas
+        #: (re-entrant: restore() counts deltas while already holding it)
+        self._lock = threading.RLock()
 
     # -- instrumentation -----------------------------------------------------
 
@@ -82,45 +94,50 @@ class SimCache:
         makespan provably exceeds the cutoff and the layout loses without
         re-simulation.
         """
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            self._count("misses")
-            return None
-        if entry.pruned and (cutoff is None or cutoff >= entry.cycles):
-            # The bound no longer proves anything: the caller needs either
-            # the exact value or a deeper bound. Re-simulate.
-            self.misses += 1
-            self.bound_misses += 1
-            self._count("misses")
-            self._count("bound_misses")
-            return None
-        self._entries.move_to_end(fingerprint)
-        self.hits += 1
-        self._count("hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                self._count("misses")
+                return None
+            if entry.pruned and (cutoff is None or cutoff >= entry.cycles):
+                # The bound no longer proves anything: the caller needs
+                # either the exact value or a deeper bound. Re-simulate.
+                self.misses += 1
+                self.bound_misses += 1
+                self._count("misses")
+                self._count("bound_misses")
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            self._count("hits")
+            return entry
 
     def put(self, fingerprint: str, entry: CacheEntry) -> None:
-        existing = self._entries.get(fingerprint)
-        if existing is not None and not existing.pruned and entry.pruned:
-            # Never downgrade an exact result to a bound.
-            return
-        self._entries[fingerprint] = entry
-        self._entries.move_to_end(fingerprint)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                self._count("evictions")
+        with self._lock:
+            existing = self._entries.get(fingerprint)
+            if existing is not None and not existing.pruned and entry.pruned:
+                # Never downgrade an exact result to a bound.
+                return
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    self._count("evictions")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
+        with self._lock:
+            return fingerprint in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # -- checkpoint support --------------------------------------------------
 
@@ -134,31 +151,33 @@ class SimCache:
         annealer captures one per boundary so an interrupt mid-iteration
         can checkpoint the boundary state, not the half-mutated one.
         """
-        return {
-            "entries": list(self._entries.items()),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "bound_misses": self.bound_misses,
-        }
+        with self._lock:
+            return {
+                "entries": list(self._entries.items()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bound_misses": self.bound_misses,
+            }
 
     def restore(self, state: Dict[str, object]) -> None:
         """Restores a :meth:`state` snapshot, counters included, so a
         resumed search reports bit-identical cache statistics."""
-        self._entries = OrderedDict(state["entries"])
-        if self.registry is not None:
-            # Replay the restored totals into the attached registry so the
-            # ``sim_cache_*`` counters of a resumed run match an
-            # uninterrupted one (a resumed synthesis starts with a fresh
-            # registry but a warm cache).
-            for name in ("hits", "misses", "evictions", "bound_misses"):
-                delta = state[name] - getattr(self, name)
-                if delta > 0:
-                    self.registry.counter(f"sim_cache_{name}").inc(delta)
-        self.hits = state["hits"]
-        self.misses = state["misses"]
-        self.evictions = state["evictions"]
-        self.bound_misses = state["bound_misses"]
+        with self._lock:
+            self._entries = OrderedDict(state["entries"])
+            if self.registry is not None:
+                # Replay the restored totals into the attached registry so
+                # the ``sim_cache_*`` counters of a resumed run match an
+                # uninterrupted one (a resumed synthesis starts with a
+                # fresh registry but a warm cache).
+                for name in ("hits", "misses", "evictions", "bound_misses"):
+                    delta = state[name] - getattr(self, name)
+                    if delta > 0:
+                        self.registry.counter(f"sim_cache_{name}").inc(delta)
+            self.hits = state["hits"]
+            self.misses = state["misses"]
+            self.evictions = state["evictions"]
+            self.bound_misses = state["bound_misses"]
 
     # -- reporting -----------------------------------------------------------
 
@@ -170,15 +189,28 @@ class SimCache:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def cache_stats(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of the cache counters, taken atomically.
+
+        The whole snapshot is read under the cache lock, so it is
+        internally consistent even while other threads are hitting the
+        cache: ``lookups == hits + misses`` holds in every snapshot, never
+        just between updates.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            lookups = hits + misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "lookups": lookups,
+                "hits": hits,
+                "misses": misses,
+                "bound_misses": self.bound_misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+
     def stats(self) -> Dict[str, object]:
-        """A JSON-ready snapshot of the cache counters."""
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "misses": self.misses,
-            "bound_misses": self.bound_misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        """Alias of :meth:`cache_stats`, kept for existing callers."""
+        return self.cache_stats()

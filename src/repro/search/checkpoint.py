@@ -17,11 +17,11 @@ One ASCII JSON header line, then the pickled payload::
     {"format": "repro.search/checkpoint-v1", "digest": "<sha256>", ...}\n
     <pickle bytes>
 
-The digest covers the payload bytes, so truncation and corruption are
-detected before unpickling. Writes are atomic (write ``<path>.tmp`` in
-the same directory, fsync, then ``os.replace``), so a crash mid-write
-leaves the previous checkpoint intact — there is never a moment with no
-valid checkpoint on disk.
+The atomic-write + digest mechanics (tmp + fsync + rename + directory
+fsync; sha256 over the payload so truncation and corruption are detected
+before unpickling) live in :mod:`repro.search.storage`, shared with the
+serving layer's persistent simulation cache — one hardened writer for
+every on-disk format.
 
 Compatibility policy: the format version is bumped on any payload shape
 change and old versions are *not* migrated — a checkpoint is a crash
@@ -35,13 +35,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..lang.errors import BambooError
 from ..schedule.layout import Layout
+from .storage import StorageError, read_pickle_record, write_pickle_record
 
 CHECKPOINT_FORMAT = "repro.search/checkpoint-v1"
 
@@ -97,66 +96,28 @@ def config_digest(config) -> str:
 
 def write_checkpoint(path: str, checkpoint: SearchCheckpoint) -> None:
     """Atomically serializes ``checkpoint`` to ``path``."""
-    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
-    header = {
-        "format": CHECKPOINT_FORMAT,
-        "digest": hashlib.sha256(payload).hexdigest(),
-        "iteration": checkpoint.iteration,
-        "evaluations": checkpoint.evaluations,
-    }
-    directory = os.path.dirname(os.path.abspath(path))
-    temp = path + ".tmp"
-    with open(temp, "wb") as handle:
-        handle.write(json.dumps(header, sort_keys=True).encode("ascii"))
-        handle.write(b"\n")
-        handle.write(payload)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
-    # Persist the rename too, so the checkpoint survives a host crash.
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        return
-    try:
-        os.fsync(dir_fd)
-    except OSError:  # pragma: no cover - fsync on dirs unsupported
-        pass
-    finally:
-        os.close(dir_fd)
+    write_pickle_record(
+        path,
+        CHECKPOINT_FORMAT,
+        checkpoint,
+        extra_header={
+            "iteration": checkpoint.iteration,
+            "evaluations": checkpoint.evaluations,
+        },
+    )
 
 
 def read_checkpoint(path: str) -> SearchCheckpoint:
     """Loads and verifies a checkpoint; raises :class:`CheckpointError`
     on any missing, corrupt, or incompatible file."""
     try:
-        with open(path, "rb") as handle:
-            header_line = handle.readline()
-            payload = handle.read()
-    except OSError as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
-    try:
-        header = json.loads(header_line.decode("ascii"))
-    except (UnicodeDecodeError, json.JSONDecodeError):
-        raise CheckpointError(f"{path!r} is not a search checkpoint")
-    found = header.get("format")
-    if found != CHECKPOINT_FORMAT:
-        raise CheckpointError(
-            f"{path!r} has checkpoint format {found!r}, expected "
-            f"{CHECKPOINT_FORMAT!r} (old formats are not migrated)"
+        _, checkpoint = read_pickle_record(
+            path,
+            CHECKPOINT_FORMAT,
+            expected_type=SearchCheckpoint,
+            kind="checkpoint",
+            long_kind="search checkpoint",
         )
-    digest = hashlib.sha256(payload).hexdigest()
-    if digest != header.get("digest"):
-        raise CheckpointError(
-            f"{path!r} is corrupt: payload digest mismatch "
-            f"(expected {header.get('digest')}, got {digest})"
-        )
-    try:
-        checkpoint = pickle.loads(payload)
-    except Exception as exc:
-        raise CheckpointError(f"cannot unpickle checkpoint {path!r}: {exc}")
-    if not isinstance(checkpoint, SearchCheckpoint):
-        raise CheckpointError(
-            f"{path!r} does not contain a SearchCheckpoint"
-        )
+    except StorageError as exc:
+        raise CheckpointError(str(exc))
     return checkpoint

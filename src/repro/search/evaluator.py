@@ -116,6 +116,7 @@ class Evaluator(Protocol):
         layouts: Sequence[Layout],
         cutoff: Optional[int] = None,
         budget: Optional[int] = None,
+        charge_hits: bool = False,
     ) -> BatchOutcome:
         """Scores ``layouts`` under the batch contract above."""
         ...  # pragma: no cover - protocol
@@ -160,15 +161,26 @@ class _EvaluatorBase:
         layouts: Sequence[Layout],
         cutoff: Optional[int],
         budget: Optional[int],
+        charge_hits: bool = False,
     ) -> Tuple[List[Tuple[int, Layout, Optional[CacheEntry], str]], int]:
         """Walks the batch in order, resolving cache hits and selecting the
         misses to simulate. Returns ``(plan, hits)`` where each plan item
         is ``(position, layout, entry-or-None, fingerprint)``; the plan
-        stops at the first miss the budget cannot cover."""
+        stops at the first miss the budget cannot cover.
+
+        With ``charge_hits`` every *request* consumes one budget unit, so
+        the plan is exactly the first ``budget`` layouts regardless of
+        what the cache holds — the scored prefix (and therefore the whole
+        search trajectory) is identical against a cold or a warm cache.
+        Layouts past the budget are not even looked up, so the cache
+        counters stay cache-state-comparable too.
+        """
         plan: List[Tuple[int, Layout, Optional[CacheEntry], str]] = []
         hits = 0
         misses = 0
         for position, layout in enumerate(layouts):
+            if charge_hits and budget is not None and len(plan) >= budget:
+                break
             fingerprint = self.fingerprint(layout)
             entry = (
                 self.cache.get(fingerprint, cutoff)
@@ -176,7 +188,7 @@ class _EvaluatorBase:
                 else None
             )
             if entry is None:
-                if budget is not None and misses >= budget:
+                if not charge_hits and budget is not None and misses >= budget:
                     break
                 misses += 1
             else:
@@ -199,8 +211,9 @@ class _EvaluatorBase:
         layouts: Sequence[Layout],
         cutoff: Optional[int] = None,
         budget: Optional[int] = None,
+        charge_hits: bool = False,
     ) -> BatchOutcome:
-        plan, hits = self._plan(layouts, cutoff, budget)
+        plan, hits = self._plan(layouts, cutoff, budget, charge_hits)
         outcome = BatchOutcome(cache_hits=hits)
         miss_indices = [
             index for index, item in enumerate(plan) if item[2] is None

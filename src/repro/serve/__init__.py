@@ -1,0 +1,67 @@
+"""repro.serve — the synthesis service with a persistent, shared SimCache.
+
+An asyncio daemon (:mod:`repro.serve.server`) exposes the offline
+pipeline's compile/profile/synthesize/simulate operations over a
+newline-delimited-JSON socket protocol (:mod:`repro.serve.protocol`),
+backed by a disk-persistent simulation cache shared across requests,
+connections, and daemon restarts (:mod:`repro.serve.store`).
+
+The load-bearing guarantee is **serving transparency**: a served
+synthesize result is bit-identical to the same request run through the
+offline pipeline, with a warm or a cold cache. The cache only changes
+how fast an answer arrives, never which answer arrives.
+
+Entry points: ``repro serve`` / ``repro request`` on the CLI,
+:class:`repro.serve.client.ServeClient` as a library, and
+:class:`repro.serve.testing.ServerThread` for in-process tests.
+"""
+
+from .client import ServeClient, ServeError, wait_for_server
+from .protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL,
+    ProtocolError,
+    context_key,
+    request_key,
+)
+from .server import ServeConfig, SynthesisServer, run_server
+from .service import (
+    ProgramMemo,
+    ProgramSpec,
+    SimulateSpec,
+    SynthesizeSpec,
+    execute_compile,
+    execute_profile,
+    execute_simulate,
+    execute_synthesize,
+)
+from .store import SIMCACHE_FORMAT, SimCacheStore, StoreLoadReport
+from .testing import ServerThread
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL",
+    "ProgramMemo",
+    "ProgramSpec",
+    "ProtocolError",
+    "SIMCACHE_FORMAT",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "SimCacheStore",
+    "SimulateSpec",
+    "StoreLoadReport",
+    "SynthesisServer",
+    "SynthesizeSpec",
+    "context_key",
+    "execute_compile",
+    "execute_profile",
+    "execute_simulate",
+    "execute_synthesize",
+    "request_key",
+    "run_server",
+    "wait_for_server",
+]

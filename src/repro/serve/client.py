@@ -1,0 +1,192 @@
+"""A blocking client for the synthesis service.
+
+:class:`ServeClient` speaks the newline-delimited-JSON protocol of
+:mod:`repro.serve.protocol` over one TCP connection, pipelining requests
+in order. It is deliberately synchronous — callers are scripts, tests,
+and the ``repro request`` command, none of which want an event loop.
+
+Failures split into two exceptions: :class:`ServeError` wraps an error
+*response* (the daemon answered ``ok: false`` — the ``code`` attribute
+carries the protocol error code, e.g. ``overloaded``), while plain
+``ConnectionError``/``OSError`` mean the daemon could not be reached at
+all.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..lang.errors import BambooError
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
+
+
+class ServeError(BambooError):
+    """The daemon answered with an error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.reason = message
+
+
+class ServeClient:
+    """One connection to a running daemon; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the protocol --------------------------------------------------------
+
+    def call(self, op: str, **params) -> Dict[str, object]:
+        """One round trip; returns the full response object (``ok: true``
+        guaranteed — error responses raise :class:`ServeError`)."""
+        request: Dict[str, object] = {"op": op}
+        request.update(params)
+        self._sock.sendall(encode(request))
+        line = self._reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError(
+                f"daemon at {self.host}:{self.port} closed the connection"
+            )
+        response = decode(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                str(error.get("code", "unknown")),
+                str(error.get("message", "no message")),
+            )
+        return response
+
+    # -- op conveniences -----------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self.call("ping")["result"]
+
+    def metrics(self) -> Dict[str, object]:
+        return self.call("metrics")["result"]
+
+    def flush(self) -> Dict[str, object]:
+        return self.call("flush")["result"]
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.call("shutdown")["result"]
+
+    def compile(
+        self, source: str, filename: str = "<client>", optimize: bool = True
+    ) -> Dict[str, object]:
+        return self.call(
+            "compile", source=source, filename=filename, optimize=optimize
+        )["result"]
+
+    def profile(
+        self,
+        source: str,
+        args: Sequence[str] = (),
+        filename: str = "<client>",
+        optimize: bool = True,
+    ) -> Dict[str, object]:
+        return self.call(
+            "profile",
+            source=source,
+            args=list(args),
+            filename=filename,
+            optimize=optimize,
+        )["result"]
+
+    def synthesize(
+        self,
+        source: str,
+        cores: int,
+        args: Sequence[str] = (),
+        seed: int = 0,
+        filename: str = "<client>",
+        optimize: bool = True,
+        mesh_width: Optional[int] = None,
+        hints: Optional[Dict[str, List[int]]] = None,
+        max_iterations: Optional[int] = None,
+        max_evaluations: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Synthesize a layout; returns the full response so callers can
+        read ``result`` (deterministic) and ``telemetry`` separately."""
+        params: Dict[str, object] = {
+            "source": source,
+            "args": list(args),
+            "filename": filename,
+            "optimize": optimize,
+            "cores": cores,
+            "seed": seed,
+        }
+        if mesh_width is not None:
+            params["mesh_width"] = mesh_width
+        if hints is not None:
+            params["hints"] = hints
+        if max_iterations is not None:
+            params["max_iterations"] = max_iterations
+        if max_evaluations is not None:
+            params["max_evaluations"] = max_evaluations
+        return self.call("synthesize", **params)
+
+    def simulate(
+        self,
+        source: str,
+        cores: int,
+        mapping: Dict[str, List[int]],
+        args: Sequence[str] = (),
+        filename: str = "<client>",
+        optimize: bool = True,
+        mesh_width: Optional[int] = None,
+    ) -> Dict[str, object]:
+        params: Dict[str, object] = {
+            "source": source,
+            "args": list(args),
+            "filename": filename,
+            "optimize": optimize,
+            "cores": cores,
+            "layout": mapping,
+        }
+        if mesh_width is not None:
+            params["mesh_width"] = mesh_width
+        return self.call("simulate", **params)
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> None:
+    """Blocks until a daemon answers ``ping`` at ``host:port``.
+
+    Raises :class:`ProtocolError` when the deadline passes — used by
+    scripts that spawned ``repro serve`` and need to know it is up.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=interval * 10) as client:
+                client.ping()
+            return
+        except (OSError, ConnectionError, ServeError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ProtocolError(
+        f"no daemon answered at {host}:{port} within {timeout:.1f}s "
+        f"(last error: {last_error})"
+    )

@@ -1,0 +1,155 @@
+"""The wire protocol of the synthesis service.
+
+Newline-delimited JSON over a stream socket: each request is one JSON
+object on one line, each response one JSON object on one line, in order.
+The framing is deliberately primitive — any language (or ``nc``) can
+speak it, and one TCP connection can pipeline many requests.
+
+Request::
+
+    {"op": "synthesize", "id": "optional-echo", ...op parameters}
+
+Response::
+
+    {"id": ..., "ok": true,  "result": {...}, "telemetry": {...}}
+    {"id": ..., "ok": false, "error": {"code": "...", "message": "..."}}
+
+``result`` carries only *deterministic* fields — everything a served
+operation computes that must be bit-identical to the same request run
+through the offline pipeline, warm or cold cache. Wall-clock, cache-hit
+counts, and coalescing flags live in ``telemetry``, which no determinism
+contract covers.
+
+Two derived keys organize the server's state:
+
+* :func:`request_key` — sha256 over the canonicalized request; identical
+  in-flight requests coalesce onto one execution.
+* :func:`context_key` — sha256 over the *simulation context* (program
+  source, profiling arguments, optimization flag). Layout fingerprints
+  are only meaningful within one context, so the persistent SimCache is
+  namespaced by it: two programs never share entries, while every
+  request against the same program+workload does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Sequence
+
+from ..lang.errors import BambooError
+
+PROTOCOL = "repro.serve/protocol-v1"
+SYNTHESIS_FORMAT = "repro.serve/synthesis-v1"
+
+#: a request or response line larger than this is refused — the protocol
+#: carries sources and layouts, not bulk data
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: every operation the daemon answers
+OPS = (
+    "ping",
+    "compile",
+    "profile",
+    "synthesize",
+    "simulate",
+    "metrics",
+    "flush",
+    "shutdown",
+)
+
+#: operations that run on the worker pool (and are subject to admission
+#: control and coalescing); the rest are answered on the event loop
+HEAVY_OPS = ("compile", "profile", "synthesize", "simulate")
+
+# -- error codes ---------------------------------------------------------------
+
+E_BAD_REQUEST = "bad_request"
+E_UNKNOWN_OP = "unknown_op"
+E_OVERLOADED = "overloaded"
+E_PROGRAM = "program_error"
+E_INTERNAL = "internal_error"
+
+
+class ProtocolError(BambooError):
+    """A malformed request or response line."""
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One message as one JSON line (sorted keys, ASCII — byte-stable)."""
+    return (
+        json.dumps(message, sort_keys=True, ensure_ascii=True).encode("ascii")
+        + b"\n"
+    )
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    """Parses one received line; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok_response(
+    request: Dict[str, object],
+    result: Dict[str, object],
+    telemetry: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    response: Dict[str, object] = {"ok": True, "result": result}
+    if telemetry is not None:
+        response["telemetry"] = telemetry
+    if "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def error_response(
+    request: Dict[str, object], code: str, message: str
+) -> Dict[str, object]:
+    response: Dict[str, object] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+# -- derived keys --------------------------------------------------------------
+
+
+def _digest(payload: Dict[str, object]) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, ensure_ascii=True).encode("ascii")
+    ).hexdigest()
+
+
+def request_key(op: str, canonical_params: Dict[str, object]) -> str:
+    """The coalescing key: identical in-flight requests share one run."""
+    return _digest({"op": op, "params": canonical_params})
+
+
+def context_key(source: str, args: Sequence[str], optimize: bool) -> str:
+    """The SimCache namespace: one per (program, workload, optimize).
+
+    A layout fingerprint keys a simulation outcome only *within* a fixed
+    compiled program and profile; the profile is a deterministic function
+    of (source, args), so this digest is exactly the validity domain of a
+    cache entry.
+    """
+    return _digest(
+        {
+            "source_sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "args": list(args),
+            "optimize": bool(optimize),
+        }
+    )

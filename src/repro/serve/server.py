@@ -1,0 +1,418 @@
+"""The synthesis daemon: an asyncio server around the shared SimCache.
+
+Architecture (one process, three layers):
+
+* **Intake** (event loop) — newline-delimited-JSON connections
+  (:mod:`repro.serve.protocol`). Cheap operations (``ping``,
+  ``metrics``, ``flush``, ``shutdown``) are answered inline; heavy
+  operations (``compile``/``profile``/``synthesize``/``simulate``) pass
+  through admission control and coalescing before execution.
+* **Execution** (worker threads) — a bounded thread pool runs
+  :mod:`repro.serve.service` operations. Each synthesize may itself fan
+  candidate simulations across the :mod:`repro.search` process pool
+  (``ServeConfig.workers``), so the thread count bounds *searches in
+  flight* while the process pool bounds *simulations in flight*.
+* **State** (shared) — the persistent :class:`repro.serve.store.SimCacheStore`,
+  the compiled/profile :class:`repro.serve.service.ProgramMemo`, and one
+  :class:`repro.obs.MetricsRegistry` for every serve metric. All three
+  are internally locked; handlers never touch unguarded shared state.
+
+Admission control: at most ``max_concurrency`` heavy operations execute
+while ``queue_limit`` more wait; a request beyond that is load-shed
+immediately with an ``overloaded`` error rather than queued into
+unbounded latency. Coalescing: identical in-flight requests (by
+:func:`repro.serve.protocol.request_key`) attach to the running
+execution and do not consume admission slots — under a thundering herd
+of identical synthesize requests the daemon does the work once.
+
+Metrics: per-operation request counters and latency histograms,
+load-shed/coalesce counters, queue-depth and inflight gauges, the
+``sim_cache_*`` counters of every context cache, and the store/memo
+snapshots — exported through the ``metrics`` operation as a
+``repro.obs/serve-metrics-v1`` document.
+
+Determinism: results come from :mod:`repro.serve.service`, which runs
+the offline pipeline under a request-charged budget — so a served
+result is bit-identical to the offline run of the same request, warm or
+cold cache (test- and CI-enforced).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..lang.errors import BambooError
+from ..obs.metrics import MetricsRegistry, build_serve_metrics
+from .protocol import (
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_PROGRAM,
+    E_UNKNOWN_OP,
+    HEAVY_OPS,
+    MAX_LINE_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    request_key,
+)
+from .service import (
+    ProgramMemo,
+    ProgramSpec,
+    SimulateSpec,
+    SynthesizeSpec,
+    execute_compile,
+    execute_profile,
+    execute_simulate,
+    execute_synthesize,
+)
+from .store import SimCacheStore
+
+
+@dataclass
+class ServeConfig:
+    """Ops knobs of one daemon (see ``docs/SERVING.md``)."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (reported once the server is up)
+    port: int = 0
+    #: persistent SimCache file; None serves from memory only
+    cache_path: Optional[str] = None
+    #: heavy operations executing at once (worker threads)
+    max_concurrency: int = 2
+    #: heavy operations allowed to *wait*; beyond this, load-shed
+    queue_limit: int = 8
+    #: process-pool fan-out inside each synthesize (repro.search workers)
+    workers: int = 1
+    #: LRU bound per context cache (None = unbounded)
+    cache_entries: Optional[int] = None
+    #: seconds between write-behind flush checks
+    flush_interval: float = 0.25
+
+
+class SynthesisServer:
+    """One daemon instance; create, ``await start()``, then
+    ``await serve_until_shutdown()``."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.registry = MetricsRegistry()
+        self.store = SimCacheStore(
+            path=self.config.cache_path,
+            max_entries=self.config.cache_entries,
+            registry=self.registry,
+        )
+        self.load_report = self.store.load()
+        self.memo = ProgramMemo()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        #: coalescing table: request key → future of (result, telemetry)
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: heavy ops admitted (executing + waiting); event-loop only
+        self._admitted = 0
+        self._started_monotonic = time.monotonic()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        self._flusher = asyncio.ensure_future(self._flush_behind())
+
+    async def serve_until_shutdown(self) -> None:
+        """Serves until a ``shutdown`` request (or :meth:`request_shutdown`),
+        then flushes the store and releases every resource."""
+        assert self._server is not None and self._stop is not None
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            if self._flusher is not None:
+                self._flusher.cancel()
+                try:
+                    await self._flusher
+                except asyncio.CancelledError:
+                    pass
+            await asyncio.get_event_loop().run_in_executor(
+                None, self.store.flush
+            )
+            self._executor.shutdown(wait=True)
+
+    def request_shutdown(self) -> None:
+        """Thread-unsafe shutdown trigger; from other threads use
+        ``loop.call_soon_threadsafe(server.request_shutdown)``."""
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- write-behind flushing ------------------------------------------------
+
+    async def _flush_behind(self) -> None:
+        """Flushes the store off the request path whenever it is dirty."""
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(self.config.flush_interval)
+            if self.store.dirty:
+                try:
+                    await loop.run_in_executor(None, self.store.flush)
+                    self._count("serve_flushes")
+                except Exception as exc:  # pragma: no cover - disk trouble
+                    self._count("serve_flush_errors")
+                    print(
+                        f"repro.serve: background flush failed: {exc}",
+                        file=sys.stderr,
+                    )
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Over-long line or peer reset: nothing sane to answer.
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, AttributeError):  # pragma: no cover
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            message = decode(line)
+        except ProtocolError as exc:
+            self._count("serve_errors")
+            return error_response({}, E_BAD_REQUEST, str(exc))
+        op = message.get("op")
+        self._count("serve_requests")
+        if isinstance(op, str):
+            self._count(f"serve_requests[{op}]")
+        started = time.perf_counter()
+        try:
+            response = await self._dispatch(op, message)
+        except ProtocolError as exc:
+            self._count("serve_errors")
+            response = error_response(message, E_BAD_REQUEST, str(exc))
+        except BambooError as exc:
+            self._count("serve_errors")
+            response = error_response(message, E_PROGRAM, str(exc))
+        except Exception as exc:
+            self._count("serve_errors")
+            response = error_response(
+                message, E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        if isinstance(op, str):
+            self.registry.histogram(f"serve_latency[{op}]").observe(
+                time.perf_counter() - started
+            )
+        return response
+
+    # -- dispatch -------------------------------------------------------------
+
+    async def _dispatch(self, op, message) -> Dict[str, object]:
+        if op == "ping":
+            return ok_response(
+                message,
+                {
+                    "pong": True,
+                    "protocol": PROTOCOL,
+                    "cache": self.load_report.describe(),
+                },
+            )
+        if op == "metrics":
+            return ok_response(message, self.metrics_snapshot())
+        if op == "flush":
+            loop = asyncio.get_event_loop()
+            header = await loop.run_in_executor(None, self.store.flush)
+            return ok_response(
+                message,
+                {"flushed": header is not None, "path": self.store.path},
+            )
+        if op == "shutdown":
+            self.request_shutdown()
+            return ok_response(message, {"stopping": True})
+        if op in HEAVY_OPS:
+            return await self._heavy(op, message)
+        self._count("serve_errors")
+        return error_response(
+            message, E_UNKNOWN_OP, f"unknown operation {op!r}"
+        )
+
+    def _heavy_plan(self, op, message) -> Tuple[str, object]:
+        """Validates the request eagerly (so malformed requests are
+        rejected without consuming an admission slot) and returns its
+        coalescing key plus the executor thunk."""
+        if op == "synthesize":
+            key = SynthesizeSpec.parse(message).canonical()
+            thunk = lambda: execute_synthesize(
+                message,
+                memo=self.memo,
+                cache=self.store.cache_for(
+                    ProgramSpec.parse(message).context()
+                ),
+                workers=self.config.workers,
+            )
+        elif op == "simulate":
+            key = SimulateSpec.parse(message).canonical()
+            thunk = lambda: execute_simulate(
+                message,
+                memo=self.memo,
+                cache=self.store.cache_for(
+                    ProgramSpec.parse(message).context()
+                ),
+            )
+        elif op == "compile":
+            key = ProgramSpec.parse(message).canonical()
+            thunk = lambda: execute_compile(message, memo=self.memo)
+        else:  # profile
+            key = ProgramSpec.parse(message).canonical()
+            thunk = lambda: execute_profile(message, memo=self.memo)
+        return request_key(op, key), thunk
+
+    async def _heavy(self, op, message) -> Dict[str, object]:
+        key, thunk = self._heavy_plan(op, message)
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Coalesce: ride the in-flight execution; no admission slot.
+            self._count("serve_coalesced")
+            result, telemetry = await asyncio.shield(existing)
+            telemetry = dict(telemetry)
+            telemetry["coalesced"] = True
+            return ok_response(message, result, telemetry)
+
+        capacity = self.config.max_concurrency + self.config.queue_limit
+        if self._admitted >= capacity:
+            self._count("serve_shed")
+            return error_response(
+                message,
+                E_OVERLOADED,
+                f"daemon at capacity ({self._admitted} heavy requests "
+                f"admitted, limit {capacity}); retry later",
+            )
+
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future" = loop.create_future()
+        # Followers that get cancelled must not mark the exception
+        # unretrieved; shield() plus this no-op retrieval keeps asyncio's
+        # GC warnings quiet.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = future
+        self._admitted += 1
+        self._set_pressure_gauges()
+        try:
+            outcome = await loop.run_in_executor(self._executor, thunk)
+            future.set_result(outcome)
+        except Exception as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+            self._admitted -= 1
+            self._set_pressure_gauges()
+        result, telemetry = outcome
+        if op in ("synthesize", "simulate"):
+            self.store.mark_dirty()
+            self.registry.counter("serve_evaluations").inc(
+                int(telemetry.get("evaluations", 0))
+            )
+            self.registry.counter("serve_cache_hits").inc(
+                int(telemetry.get("cache_hits", 0))
+            )
+        return ok_response(message, result, dict(telemetry))
+
+    # -- metrics --------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        self.registry.counter(name).inc()
+
+    def _set_pressure_gauges(self) -> None:
+        executing = min(self._admitted, self.config.max_concurrency)
+        self.registry.gauge("serve_inflight").set(float(executing))
+        self.registry.gauge("serve_queue_depth").set(
+            float(self._admitted - executing)
+        )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return build_serve_metrics(
+            registry=self.registry,
+            store=self.store.stats(),
+            memo=self.memo.stats(),
+            load_report={
+                "loaded": self.load_report.loaded,
+                "refused": self.load_report.refused,
+                "error": self.load_report.error,
+                "contexts": self.load_report.contexts,
+                "entries": self.load_report.entries,
+            },
+            uptime_seconds=time.monotonic() - self._started_monotonic,
+            admitted=self._admitted,
+            capacity=self.config.max_concurrency + self.config.queue_limit,
+        )
+
+
+async def _serve_main(config: ServeConfig, announce) -> None:
+    server = SynthesisServer(config)
+    await server.start()
+    if announce is not None:
+        announce(server)
+    try:
+        import signal
+
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    except ImportError:  # pragma: no cover - no signal module
+        pass
+    await server.serve_until_shutdown()
+
+
+def run_server(config: Optional[ServeConfig] = None, announce=None) -> int:
+    """Blocking daemon entry point (the ``repro serve`` command).
+
+    ``announce(server)`` is called once the socket is listening — the CLI
+    prints the bound address there so scripts can wait for readiness.
+    """
+    try:
+        asyncio.run(_serve_main(config or ServeConfig(), announce))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 130
+    return 0
