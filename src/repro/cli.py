@@ -41,13 +41,26 @@ Commands
     disk-persistent simulation cache shared across requests and
     restarts. ``--max-concurrency``/``--queue-limit`` bound admission
     (excess requests are load-shed), ``--workers`` fans each search
-    across worker processes.
+    across worker processes. ``--request-deadline`` bounds each heavy
+    request's wall clock (cooperative cancellation reclaims the worker
+    thread), ``--drain-timeout`` bounds the graceful drain on shutdown,
+    ``--idle-timeout`` reclaims silent connections, and ``--allow-chaos``
+    gates the fault-injection operation used by ``serve-chaos``.
 ``request OP [FILE [ARGS...]] --port N``
     Send one request to a running daemon and print the deterministic
     result JSON on stdout (telemetry goes to stderr). With ``--offline``
     the same operation runs in-process through the identical code path —
     the two stdouts are byte-comparable, which is how CI checks the
-    serving-transparency contract.
+    serving-transparency contract. ``--retries N`` survives connection
+    drops and overloaded/draining daemons (retry is safe because served
+    results are deterministic); ``--deadline MS`` bounds the request's
+    wall clock server-side.
+``serve-chaos [N]``
+    Sweep N seeded network/daemon fault plans (connection resets,
+    truncated/garbled/delayed responses, flush failures, mid-request
+    SIGKILL + restart) against a live daemon subprocess and exit nonzero
+    if any serve-layer invariant (typed outcomes, result bit-identity,
+    liveness, cache durability, degradation reporting) is violated.
 """
 
 from __future__ import annotations
@@ -259,6 +272,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache_entries,
         flush_interval=args.flush_interval,
+        request_deadline=args.request_deadline,
+        drain_timeout=args.drain_timeout,
+        idle_timeout=args.idle_timeout,
+        allow_fault_injection=args.allow_chaos,
     )
 
     def announce(server):
@@ -274,6 +291,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     return run_server(config, announce=announce)
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    from .serve.netchaos import run_net_chaos
+
+    report = run_net_chaos(plans=args.plans, base_seed=args.seed)
+    print(report.describe())
+    if args.report:
+        import json
+
+        with open(args.report, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"[report: {args.report}]", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 _HEAVY_REQUEST_OPS = ("compile", "profile", "synthesize", "simulate")
@@ -345,10 +377,19 @@ def _cmd_request(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        from .serve import ServeClient
+        from .serve import ClientRetryPolicy, ServeClient
 
         params = _request_params(args) if heavy else {}
-        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        if heavy and args.deadline is not None:
+            params["deadline_ms"] = args.deadline
+        policy = (
+            ClientRetryPolicy(max_attempts=args.retries + 1)
+            if args.retries > 0
+            else None
+        )
+        with ServeClient(
+            args.host, args.port, timeout=args.timeout, retry_policy=policy
+        ) as client:
             response = client.call(args.op, **params)
         result = response["result"]
         telemetry = response.get("telemetry")
@@ -542,6 +583,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--flush-interval", type=float, default=0.25, metavar="SECONDS",
         help="write-behind flush period for the persistent cache",
     )
+    p_serve.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per heavy request; past it the daemon "
+             "answers 'deadline_exceeded' and cancels the execution "
+             "cooperatively (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on shutdown, answer in-flight requests for up to this long "
+             "before cancelling them",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="close connections silent for this long",
+    )
+    p_serve.add_argument(
+        "--allow-chaos", action="store_true",
+        help="accept the 'inject' fault-point operation (testing only)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_request = sub.add_parser(
@@ -577,7 +637,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the operation in-process instead of contacting a "
              "daemon; stdout is byte-identical to the served result",
     )
+    p_request.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry the request up to N times across reconnects and "
+             "overloaded/draining responses (safe: served results are "
+             "deterministic, so a retry can only recover the answer)",
+    )
+    p_request.add_argument(
+        "--deadline", type=int, default=None, metavar="MS",
+        help="ask the daemon to abandon the request past this wall-clock "
+             "budget (it answers 'deadline_exceeded')",
+    )
     p_request.set_defaults(func=_cmd_request)
+
+    p_netchaos = sub.add_parser(
+        "serve-chaos",
+        help="sweep seeded network/daemon fault plans against a live "
+             "serve subprocess; exit nonzero on any invariant violation",
+    )
+    p_netchaos.add_argument(
+        "plans", type=int, nargs="?", default=8,
+        help="number of seeded plans (plan 0 is the fault-free control)",
+    )
+    p_netchaos.add_argument("--seed", type=int, default=0)
+    p_netchaos.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the machine-readable sweep report as JSON",
+    )
+    p_netchaos.set_defaults(func=_cmd_serve_chaos)
 
     return parser
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from ..runtime.machine import MachineConfig
 from ..schedule.anneal import AnnealConfig
@@ -97,6 +97,12 @@ class SynthesisOptions:
     resume: Optional[str] = None
     #: inject host-level worker faults (testing; forces supervision)
     host_chaos: Optional["HostChaosPlan"] = None
+    #: zero-argument callable polled at iteration boundaries; returning
+    #: true raises :class:`repro.schedule.anneal.SearchCancelled` and the
+    #: search stops cleanly. Installed by the serving layer's request
+    #: deadlines and graceful drain; it can only stop a run early, never
+    #: change the result of one it lets finish.
+    cancel_check: Optional[Callable[[], bool]] = None
 
     def effective_anneal(self) -> AnnealConfig:
         """The anneal schedule with the seed override applied."""

@@ -136,6 +136,7 @@ def synthesize_layout(
         host_chaos=options.host_chaos,
         checkpoint_path=options.checkpoint_path,
         resume=options.resume,
+        cancel_check=options.cancel_check,
     ) as dsa:
         result: AnnealResult = dsa.run()
     wall = _time.perf_counter() - started

@@ -228,16 +228,22 @@ def build_serve_metrics(
     uptime_seconds: float,
     admitted: int,
     capacity: int,
+    degraded: bool = False,
+    draining: bool = False,
+    last_flush_error: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The JSON-ready metrics snapshot of one synthesis daemon.
 
     Served through the ``metrics`` operation of :mod:`repro.serve`: the
     registry carries the per-operation request counters and latency
-    histograms plus the load-shed/coalesce counters and the ``sim_cache_*``
-    counters of every context cache; ``store``/``memo`` are the
-    :meth:`repro.serve.SimCacheStore.stats` and
-    :meth:`repro.serve.ProgramMemo.stats` snapshots, and ``load_report``
-    records what happened to the persistent cache file at startup.
+    histograms plus the load-shed/coalesce/deadline/drain counters and
+    the ``sim_cache_*`` counters of every context cache;
+    ``store``/``memo`` are the :meth:`repro.serve.SimCacheStore.stats`
+    and :meth:`repro.serve.ProgramMemo.stats` snapshots, and
+    ``load_report`` records what happened to the persistent cache file at
+    startup. ``degraded`` is the daemon's persistence-health flag: true
+    while the most recent store flush failed (``last_flush_error`` then
+    carries the error string and its epoch timestamp).
     """
     requests = registry.counter("serve_requests").value
     shed = registry.counter("serve_shed").value
@@ -253,6 +259,9 @@ def build_serve_metrics(
         "shed": shed,
         "shed_rate": shed / requests if requests else 0.0,
         "cache_hit_rate": hits / requested if requested else 0.0,
+        "degraded": degraded,
+        "draining": draining,
+        "last_flush_error": last_flush_error,
         "store": store,
         "memo": memo,
         "load_report": load_report,

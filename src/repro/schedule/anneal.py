@@ -61,6 +61,17 @@ from .rules import replica_choice_sets, suggest_replicas
 from .simulator import SimResult
 
 
+class SearchCancelled(ScheduleError):
+    """A cooperative cancellation fired between search iterations.
+
+    Raised when the ``cancel_check`` callback installed by the caller
+    (the serving layer's request deadlines and graceful drain) returns
+    true at an iteration boundary. The search stops cleanly — no partial
+    iteration escapes, and the worker thread running it is reclaimed —
+    without this being a program error or a crash.
+    """
+
+
 @dataclass
 class AnnealConfig:
     seed: int = 0
@@ -143,6 +154,7 @@ class DirectedSimulatedAnnealing:
         host_chaos=None,
         checkpoint_path: Optional[str] = None,
         resume: Optional[str] = None,
+        cancel_check=None,
     ):
         self.compiled = compiled
         self.profile = profile
@@ -153,6 +165,10 @@ class DirectedSimulatedAnnealing:
         self.core_speeds = core_speeds
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        #: zero-argument callable polled at iteration boundaries; a true
+        #: return raises :class:`SearchCancelled`. Purely an early-exit
+        #: hook — it cannot alter the result of a run it does not stop.
+        self.cancel_check = cancel_check
         self.rng = random.Random(self.config.seed)
         if group_graph is None:
             from ..core.api import annotated_cstg
@@ -401,6 +417,11 @@ class DirectedSimulatedAnnealing:
     ) -> AnnealResult:
         charge_hits = config.budget_charges_hits
         while iterations < config.max_iterations:
+            if self.cancel_check is not None and self.cancel_check():
+                raise SearchCancelled(
+                    f"layout search cancelled after {iterations} "
+                    f"iteration(s) / {self.evaluations} simulation(s)"
+                )
             iterations += 1
             # Score the whole candidate set as one batch. The cutoff is the
             # incumbent best *entering* the iteration — fixed for the batch,

@@ -11,16 +11,39 @@ synthesize result is bit-identical to the same request run through the
 offline pipeline, with a warm or a cold cache. The cache only changes
 how fast an answer arrives, never which answer arrives.
 
-Entry points: ``repro serve`` / ``repro request`` on the CLI,
-:class:`repro.serve.client.ServeClient` as a library, and
+The failure story rides on the same determinism: a
+:class:`ClientRetryPolicy` makes the client survive connection drops and
+overloaded/draining daemons (a re-sent request can only *recover* the
+answer, never change it); the server enforces per-request deadlines with
+cooperative cancellation, drains gracefully on shutdown, and reports
+``degraded`` when it can no longer persist its cache; and
+:mod:`repro.serve.netchaos` machine-checks the whole contract under
+seeded network and daemon-process faults.
+
+Entry points: ``repro serve`` / ``repro request`` / ``repro serve-chaos``
+on the CLI, :class:`repro.serve.client.ServeClient` as a library, and
 :class:`repro.serve.testing.ServerThread` for in-process tests.
 """
 
-from .client import ServeClient, ServeError, wait_for_server
+from .client import (
+    ClientRetryPolicy,
+    ServeClient,
+    ServeError,
+    ServeUnavailable,
+    wait_for_server,
+)
+from .netchaos import (
+    ChaosProxy,
+    NetChaosPlan,
+    NetChaosReport,
+    NetFault,
+    run_net_chaos,
+)
 from .protocol import (
     MAX_LINE_BYTES,
     OPS,
     PROTOCOL,
+    RETRYABLE_CODES,
     ProtocolError,
     context_key,
     request_key,
@@ -40,16 +63,23 @@ from .store import SIMCACHE_FORMAT, SimCacheStore, StoreLoadReport
 from .testing import ServerThread
 
 __all__ = [
+    "ChaosProxy",
+    "ClientRetryPolicy",
     "MAX_LINE_BYTES",
+    "NetChaosPlan",
+    "NetChaosReport",
+    "NetFault",
     "OPS",
     "PROTOCOL",
     "ProgramMemo",
     "ProgramSpec",
     "ProtocolError",
+    "RETRYABLE_CODES",
     "SIMCACHE_FORMAT",
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeUnavailable",
     "ServerThread",
     "SimCacheStore",
     "SimulateSpec",
@@ -62,6 +92,7 @@ __all__ = [
     "execute_simulate",
     "execute_synthesize",
     "request_key",
+    "run_net_chaos",
     "run_server",
     "wait_for_server",
 ]

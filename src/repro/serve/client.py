@@ -5,48 +5,230 @@
 in order. It is deliberately synchronous — callers are scripts, tests,
 and the ``repro request`` command, none of which want an event loop.
 
-Failures split into two exceptions: :class:`ServeError` wraps an error
-*response* (the daemon answered ``ok: false`` — the ``code`` attribute
-carries the protocol error code, e.g. ``overloaded``), while plain
-``ConnectionError``/``OSError`` mean the daemon could not be reached at
-all.
+Failures split into three exceptions:
+
+* :class:`ServeError` — the daemon answered ``ok: false``; the ``code``
+  attribute carries the protocol error code (e.g. ``overloaded``) and
+  ``retry_after_ms`` the server's optional backoff hint.
+* :class:`ServeUnavailable` — the daemon could not be reached at all (or
+  a retrying client exhausted its attempts trying). Subsumes the raw
+  ``ConnectionError``/``OSError`` a single attempt raises.
+* plain ``ConnectionError``/``OSError`` — a non-retrying client's single
+  attempt failed at the socket layer (legacy behavior, kept so existing
+  callers see exactly what the OS said).
+
+Retrying (:class:`ClientRetryPolicy`)
+-------------------------------------
+
+Served results are deterministic — the same request always produces the
+same bytes, whether it is answered by a fresh execution, a coalesced
+in-flight one, or the persistent cache. That makes blind retry *safe*:
+re-sending a request after a dropped connection cannot change the answer,
+only recover it (the duplicated work is usually absorbed by the daemon's
+SimCache or coalescing). A :class:`ServeClient` constructed with a
+``retry_policy`` therefore:
+
+* reconnects and re-sends after connection-level failures (drop, reset,
+  timeout, a garbled response line) with capped exponential backoff and
+  deterministic sha256 jitter — the same backoff shape as
+  :class:`repro.search.supervise.RetryPolicy`;
+* retries ``overloaded``/``draining`` error responses, honoring the
+  server-supplied ``retry_after_ms`` hint (capped by the policy);
+* never retries deterministic failures (``bad_request``,
+  ``program_error``, ``deadline_exceeded``) — they would fail again;
+* raises :class:`ServeUnavailable` when the attempt budget is exhausted.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..lang.errors import BambooError
-from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
+from .protocol import (
+    MAX_LINE_BYTES,
+    RETRYABLE_CODES,
+    ProtocolError,
+    decode,
+    encode,
+)
 
 
 class ServeError(BambooError):
     """The daemon answered with an error response."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(
+        self, code: str, message: str, retry_after_ms: Optional[int] = None
+    ):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.reason = message
+        #: the server's advisory backoff hint, when it sent one
+        self.retry_after_ms = retry_after_ms
+
+
+class ServeUnavailable(BambooError):
+    """No daemon could be reached (or retries against one were exhausted).
+
+    Distinct from :class:`ProtocolError` (a framing problem on a *live*
+    connection) and :class:`ServeError` (the daemon answered, negatively):
+    this one means the service itself is gone. ``last_error`` carries the
+    final underlying failure.
+    """
+
+    def __init__(self, message: str, last_error: Optional[Exception] = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Retry knobs for :class:`ServeClient`.
+
+    The backoff before attempt ``n`` (counting failures from 1) is
+    ``min(backoff_cap, backoff_base * 2**(n-1))`` scaled into
+    ``[0.5, 1.0)`` of itself by a deterministic sha256 jitter — the same
+    shape :class:`repro.search.supervise.RetryPolicy` uses, so replayed
+    failure traces sleep identically while concurrent clients do not
+    thunder in lockstep. A server ``retry_after_ms`` hint overrides the
+    computed backoff, capped at ``retry_after_cap``.
+    """
+
+    #: total tries per call (first attempt included)
+    max_attempts: int = 4
+    #: base backoff in seconds; doubles per failed attempt
+    backoff_base: float = 0.05
+    #: backoff ceiling in seconds
+    backoff_cap: float = 2.0
+    #: per-reconnect TCP connect timeout in seconds
+    connect_timeout: float = 5.0
+    #: ceiling on a server-supplied ``retry_after_ms`` hint, in seconds
+    retry_after_cap: float = 5.0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if self.retry_after_cap < 0:
+            raise ValueError("retry_after_cap must be non-negative")
+
+    def backoff(self, op: str, failure: int) -> float:
+        """The jittered sleep before retrying ``op`` after its
+        ``failure``-th consecutive failure (1-based)."""
+        base = min(self.backoff_cap, self.backoff_base * 2 ** (failure - 1))
+        return base * (0.5 + 0.5 * _jitter(op, failure))
+
+
+def _jitter(key: str, round_index: int) -> float:
+    """Deterministic jitter fraction in [0, 1), keyed like
+    :func:`repro.search.supervise._jitter` so retry schedules are
+    reproducible in tests yet distinct across ops and rounds."""
+    digest = hashlib.sha256(f"{key}:{round_index}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
 
 
 class ServeClient:
-    """One connection to a running daemon; usable as a context manager."""
+    """One connection to a running daemon; usable as a context manager.
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0):
+    Without a ``retry_policy`` the client is exactly one TCP connection:
+    any failure surfaces raw (legacy behavior). With one, the connection
+    is a disposable resource — dropped, reset, or timed-out sockets are
+    torn down and rebuilt transparently, and ``call`` only raises after
+    the policy's attempt budget is spent.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 60.0,
+        retry_policy: Optional[ClientRetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.retry_policy = retry_policy
+        if retry_policy is not None:
+            retry_policy.validate()
+        #: connection-level retries performed over this client's lifetime
+        self.retries = 0
+        #: reconnections performed (first connect excluded)
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        if retry_policy is None:
+            self._connect()
+        else:
+            # The initial connect participates in the retry budget too —
+            # a daemon still coming up is indistinguishable from one that
+            # dropped us between requests.
+            self._connected_or_raise("connect")
+
+    # -- connection management -----------------------------------------------
+
+    def _connect(self) -> None:
+        connect_timeout = (
+            self.retry_policy.connect_timeout
+            if self.retry_policy is not None
+            else self.timeout
+        )
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=connect_timeout
+        )
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        """Drops the current connection (if any); the next attempt will
+        reconnect. A socket that failed mid-exchange is never reused —
+        its stream position is unknowable."""
+        reader, sock = self._reader, self._sock
+        self._reader = None
+        self._sock = None
+        try:
+            if reader is not None:
+                reader.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+
+    def _connected_or_raise(self, op: str) -> None:
+        """Ensures a live connection under the retry policy, raising
+        :class:`ServeUnavailable` once the attempt budget is spent."""
+        policy = self.retry_policy
+        assert policy is not None
+        failures = 0
+        while self._sock is None:
+            try:
+                self._connect()
+                if failures or self.retries:
+                    self.reconnects += 1
+                return
+            except (ConnectionError, OSError) as exc:
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise ServeUnavailable(
+                        f"daemon at {self.host}:{self.port} unreachable "
+                        f"after {failures} connect attempt(s): {exc}",
+                        last_error=exc,
+                    )
+                time.sleep(policy.backoff(op, failures))
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -56,11 +238,9 @@ class ServeClient:
 
     # -- the protocol --------------------------------------------------------
 
-    def call(self, op: str, **params) -> Dict[str, object]:
-        """One round trip; returns the full response object (``ok: true``
-        guaranteed — error responses raise :class:`ServeError`)."""
-        request: Dict[str, object] = {"op": op}
-        request.update(params)
+    def _call_once(self, request: Dict[str, object]) -> Dict[str, object]:
+        """One request/response exchange on the current connection."""
+        assert self._sock is not None and self._reader is not None
         self._sock.sendall(encode(request))
         line = self._reader.readline(MAX_LINE_BYTES + 1)
         if not line:
@@ -70,11 +250,66 @@ class ServeClient:
         response = decode(line)
         if not response.get("ok"):
             error = response.get("error") or {}
+            retry_after = error.get("retry_after_ms")
             raise ServeError(
                 str(error.get("code", "unknown")),
                 str(error.get("message", "no message")),
+                retry_after_ms=(
+                    int(retry_after)
+                    if isinstance(retry_after, int)
+                    and not isinstance(retry_after, bool)
+                    else None
+                ),
             )
         return response
+
+    def call(self, op: str, **params) -> Dict[str, object]:
+        """One logical call; returns the full response object (``ok:
+        true`` guaranteed — error responses raise :class:`ServeError`).
+        Under a retry policy, transparently survives connection drops and
+        retryable error responses; the returned bytes are bit-identical
+        to an undisturbed call because served results are deterministic.
+        """
+        request: Dict[str, object] = {"op": op}
+        request.update(params)
+        policy = self.retry_policy
+        if policy is None:
+            return self._call_once(request)
+        failures = 0
+        while True:
+            try:
+                self._connected_or_raise(op)
+                return self._call_once(request)
+            except ServeError as exc:
+                # The daemon answered; the connection is still in sync.
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise ServeUnavailable(
+                        f"daemon at {self.host}:{self.port} still "
+                        f"{exc.code} after {failures} attempt(s)",
+                        last_error=exc,
+                    )
+                delay = policy.backoff(op, failures)
+                if exc.retry_after_ms is not None:
+                    delay = min(
+                        exc.retry_after_ms / 1000.0, policy.retry_after_cap
+                    )
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                # Dropped mid-exchange (or the response was garbled): the
+                # connection's state is unknown, so discard it entirely.
+                self._teardown()
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise ServeUnavailable(
+                        f"call {op!r} to {self.host}:{self.port} failed "
+                        f"after {failures} attempt(s): {exc}",
+                        last_error=exc,
+                    )
+                delay = policy.backoff(op, failures)
+            self.retries += 1
+            time.sleep(delay)
 
     # -- op conveniences -----------------------------------------------------
 
@@ -124,9 +359,12 @@ class ServeClient:
         hints: Optional[Dict[str, List[int]]] = None,
         max_iterations: Optional[int] = None,
         max_evaluations: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, object]:
         """Synthesize a layout; returns the full response so callers can
-        read ``result`` (deterministic) and ``telemetry`` separately."""
+        read ``result`` (deterministic) and ``telemetry`` separately.
+        ``deadline_ms`` asks the server to abandon the request past that
+        wall-clock budget (it answers ``deadline_exceeded``)."""
         params: Dict[str, object] = {
             "source": source,
             "args": list(args),
@@ -143,6 +381,8 @@ class ServeClient:
             params["max_iterations"] = max_iterations
         if max_evaluations is not None:
             params["max_evaluations"] = max_evaluations
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         return self.call("synthesize", **params)
 
     def simulate(
@@ -173,8 +413,10 @@ def wait_for_server(
 ) -> None:
     """Blocks until a daemon answers ``ping`` at ``host:port``.
 
-    Raises :class:`ProtocolError` when the deadline passes — used by
+    Raises :class:`ServeUnavailable` when the deadline passes — used by
     scripts that spawned ``repro serve`` and need to know it is up.
+    (A framing problem on a live daemon still raises
+    :class:`ProtocolError`; "nobody answered" is not a framing problem.)
     """
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
@@ -186,7 +428,8 @@ def wait_for_server(
         except (OSError, ConnectionError, ServeError) as exc:
             last_error = exc
             time.sleep(interval)
-    raise ProtocolError(
+    raise ServeUnavailable(
         f"no daemon answered at {host}:{port} within {timeout:.1f}s "
-        f"(last error: {last_error})"
+        f"(last error: {last_error})",
+        last_error=last_error,
     )

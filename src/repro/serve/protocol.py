@@ -67,8 +67,16 @@ HEAVY_OPS = ("compile", "profile", "synthesize", "simulate")
 E_BAD_REQUEST = "bad_request"
 E_UNKNOWN_OP = "unknown_op"
 E_OVERLOADED = "overloaded"
+E_DRAINING = "draining"
+E_DEADLINE = "deadline_exceeded"
 E_PROGRAM = "program_error"
 E_INTERNAL = "internal_error"
+
+#: error codes a client may retry: the daemon refused to *start* the work
+#: (capacity or lifecycle), so nothing was computed and nothing can differ
+#: on a retry. ``deadline_exceeded`` is deliberately absent — execution is
+#: deterministic, so an operation that overran once will overrun again.
+RETRYABLE_CODES = (E_OVERLOADED, E_DRAINING)
 
 
 class ProtocolError(BambooError):
@@ -113,12 +121,17 @@ def ok_response(
 
 
 def error_response(
-    request: Dict[str, object], code: str, message: str
+    request: Dict[str, object],
+    code: str,
+    message: str,
+    retry_after_ms: Optional[int] = None,
 ) -> Dict[str, object]:
-    response: Dict[str, object] = {
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+    error: Dict[str, object] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        # A server-supplied backoff hint for retryable errors; clients
+        # treat it as advisory and cap it with their own policy.
+        error["retry_after_ms"] = int(retry_after_ms)
+    response: Dict[str, object] = {"ok": False, "error": error}
     if isinstance(request, dict) and "id" in request:
         response["id"] = request["id"]
     return response

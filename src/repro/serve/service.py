@@ -39,7 +39,7 @@ from ..core import (
     profile_program,
     synthesize_layout,
 )
-from ..schedule.anneal import AnnealConfig
+from ..schedule.anneal import AnnealConfig, SearchCancelled
 from ..schedule.layout import Layout
 from ..search.cache import SimCache
 from ..search.evaluator import SerialEvaluator
@@ -48,6 +48,19 @@ from .protocol import (
     ProtocolError,
     context_key,
 )
+
+
+def _check_cancel(cancel, where: str) -> None:
+    """Cooperative cancellation point between pipeline stages.
+
+    ``cancel`` is anything with ``is_set()`` (a ``threading.Event`` in
+    the daemon); raising :class:`SearchCancelled` here releases the
+    worker thread back to the pool instead of computing an answer nobody
+    is waiting for. Cancellation can only stop work early — a run it
+    does not stop is untouched, so the transparency contract holds.
+    """
+    if cancel is not None and cancel.is_set():
+        raise SearchCancelled(f"request cancelled before {where}")
 
 
 def _require(params: Dict[str, object], name: str, kind, what: str):
@@ -290,11 +303,14 @@ class ProgramMemo:
 
 
 def execute_compile(
-    params: Dict[str, object], memo: Optional[ProgramMemo] = None
+    params: Dict[str, object],
+    memo: Optional[ProgramMemo] = None,
+    cancel=None,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     spec = ProgramSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
+    _check_cancel(cancel, "compile")
     compiled = memo.compiled(spec)
     result = {
         "tasks": compiled.task_names(),
@@ -305,11 +321,14 @@ def execute_compile(
 
 
 def execute_profile(
-    params: Dict[str, object], memo: Optional[ProgramMemo] = None
+    params: Dict[str, object],
+    memo: Optional[ProgramMemo] = None,
+    cancel=None,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     spec = ProgramSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
+    _check_cancel(cancel, "profile")
     profile = memo.profile(spec)
     result = {
         "context": spec.context(),
@@ -327,6 +346,7 @@ def execute_synthesize(
     memo: Optional[ProgramMemo] = None,
     cache: Optional[SimCache] = None,
     workers: int = 1,
+    cancel=None,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Runs one synthesize request through the offline pipeline.
 
@@ -334,12 +354,17 @@ def execute_synthesize(
     SimCache transparency + request-charged budget, the latter by the
     :mod:`repro.search` batch contract — so the daemon passes its shared
     persistent cache and its configured worker pool here while the
-    offline comparator passes neither.
+    offline comparator passes neither. ``cancel`` (anything with
+    ``is_set()``) is polled between pipeline stages and at every search
+    iteration boundary; setting it raises :class:`SearchCancelled` and
+    reclaims the thread.
     """
     spec = SynthesizeSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
+    _check_cancel(cancel, "compile")
     compiled = memo.compiled(spec.program)
+    _check_cancel(cancel, "profile")
     profile = memo.profile(spec.program)
     report = synthesize_layout(
         compiled,
@@ -351,6 +376,7 @@ def execute_synthesize(
             mesh_width=spec.mesh_width,
             workers=workers,
             cache=cache,
+            cancel_check=cancel.is_set if cancel is not None else None,
         ),
     )
     layout = report.layout
@@ -382,13 +408,16 @@ def execute_simulate(
     params: Dict[str, object],
     memo: Optional[ProgramMemo] = None,
     cache: Optional[SimCache] = None,
+    cancel=None,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Scores one explicit layout (sharing the context's SimCache, so a
     layout the search already visited is answered without simulating)."""
     spec = SimulateSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
+    _check_cancel(cancel, "compile")
     compiled = memo.compiled(spec.program)
+    _check_cancel(cancel, "profile")
     profile = memo.profile(spec.program)
     layout = Layout.make(
         spec.cores,
@@ -402,6 +431,7 @@ def execute_simulate(
         hints=dict(spec.hints) if spec.hints else None,
         cache=cache,
     )
+    _check_cancel(cancel, "simulate")
     outcome = evaluator.evaluate([layout])
     scored = outcome.scored[0]
     result = {

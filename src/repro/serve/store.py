@@ -93,6 +93,10 @@ class SimCacheStore:
         self._lock = threading.RLock()
         self._dirty = False
         self.flushes = 0
+        #: fault point: the next N flushes raise StorageError instead of
+        #: writing (armed by the net-chaos harness and the ``inject`` op;
+        #: never set in normal operation)
+        self.fail_flushes = 0
 
     # -- the context map -----------------------------------------------------
 
@@ -172,6 +176,13 @@ class SimCacheStore:
         if self.path is None:
             return None
         with self._lock:
+            if self.fail_flushes > 0:
+                self.fail_flushes -= 1
+                # Leave the store dirty: the failed write persisted
+                # nothing, so the next cycle must try again.
+                raise StorageError(
+                    "injected flush failure (store fault point)"
+                )
             self._dirty = False
             caches = dict(self._caches)
         contexts = {

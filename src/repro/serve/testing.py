@@ -19,8 +19,7 @@ import asyncio
 import threading
 from typing import Optional
 
-from .client import ServeClient
-from .protocol import ProtocolError
+from .client import ServeClient, ServeUnavailable
 from .server import ServeConfig, SynthesisServer
 
 
@@ -61,16 +60,26 @@ class ServerThread:
     def start(self) -> "ServerThread":
         self._thread.start()
         if not self._ready.wait(timeout=30.0):  # pragma: no cover
-            raise ProtocolError("test daemon did not come up within 30s")
+            raise ServeUnavailable("test daemon did not come up within 30s")
         if self._startup_error is not None:
-            raise ProtocolError(
-                f"test daemon failed to start: {self._startup_error}"
+            raise ServeUnavailable(
+                f"test daemon failed to start: {self._startup_error}",
+                last_error=self._startup_error,
             )
         return self
 
     def stop(self) -> None:
-        if self._loop is not None and self.server is not None:
-            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        if (
+            self._loop is not None
+            and self.server is not None
+            and not self._loop.is_closed()
+        ):
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                # The daemon already shut down (e.g. the test sent the
+                # `shutdown` op) and its loop closed under us.
+                pass
         self._thread.join(timeout=30.0)
 
     def __enter__(self) -> "ServerThread":
@@ -81,6 +90,10 @@ class ServerThread:
 
     # -- conveniences --------------------------------------------------------
 
-    def client(self, timeout: Optional[float] = 60.0) -> ServeClient:
+    def client(
+        self, timeout: Optional[float] = 60.0, retry_policy=None
+    ) -> ServeClient:
         assert self.host is not None and self.port is not None
-        return ServeClient(self.host, self.port, timeout=timeout)
+        return ServeClient(
+            self.host, self.port, timeout=timeout, retry_policy=retry_policy
+        )
