@@ -7,6 +7,11 @@ the run's headline numbers (makespan, speedups) and — when the run was
 observed (``MachineConfig.observe``) — the full :mod:`repro.obs` metrics
 snapshot (utilization, queue depths, latency histograms, and the
 machine-checked cycle accounting).
+
+Every document is stamped with a ``meta`` provenance block
+(:func:`repro.obs.runmeta.run_metadata`: git sha, UTC timestamp, python
+version, cpu count), so a committed baseline records which tree and
+machine produced it.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import os
 from typing import Dict, Optional
 
 from conftest import OUT_DIR
+from repro.obs.runmeta import run_metadata
 
 SCHEMA = "repro.bench/telemetry-v1"
 
@@ -38,7 +44,12 @@ def write_telemetry(name: str, payload: Dict[str, object]) -> str:
     """Writes one experiment's telemetry document; returns its path."""
     os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, f"{name}.json")
-    doc = {"schema": SCHEMA, "experiment": name, **payload}
+    doc = {
+        "schema": SCHEMA,
+        "experiment": name,
+        "meta": run_metadata(),
+        **payload,
+    }
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

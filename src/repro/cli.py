@@ -35,6 +35,17 @@ Commands
     Print the profile-annotated CSTG (optionally as Graphviz DOT).
 ``bench NAME [--cores N]``
     Run one of the paper's benchmarks through the Figure 7 protocol.
+``profile TARGET [ARGS...] [--cores N] [--out FILE]``
+    Wall-clock-profile the whole pipeline (compile → profile →
+    synthesize) on a benchmark name or ``.bam`` file: print the
+    hierarchical self/cumulative phase table and optionally write the
+    ``repro.obs/profile-v1`` JSON artifact. ``--overhead`` reruns the
+    pipeline unprofiled and records the instrumentation's measured
+    overhead fraction (and a results-identity check) in the artifact.
+``obs validate|summarize FILE``
+    Schema-check (or render one screen about) any exported
+    observability artifact: Chrome traces, machine/search/serve
+    metrics, profiles, benchmark telemetry, or Prometheus text.
 ``serve [--cache FILE] [--port N]``
     Start the synthesis daemon (:mod:`repro.serve`): compile / profile /
     synthesize / simulate served over newline-delimited JSON, with a
@@ -46,6 +57,9 @@ Commands
     thread), ``--drain-timeout`` bounds the graceful drain on shutdown,
     ``--idle-timeout`` reclaims silent connections, and ``--allow-chaos``
     gates the fault-injection operation used by ``serve-chaos``.
+    ``--metrics-port N`` additionally serves ``GET /metrics``
+    (Prometheus text exposition), ``/healthz``, and ``/profilez`` over
+    plain HTTP — scrapable even while the daemon drains.
 ``request OP [FILE [ARGS...]] --port N``
     Send one request to a running daemon and print the deterministic
     result JSON on stdout (telemetry goes to stderr). With ``--offline``
@@ -54,7 +68,9 @@ Commands
     serving-transparency contract. ``--retries N`` survives connection
     drops and overloaded/draining daemons (retry is safe because served
     results are deterministic); ``--deadline MS`` bounds the request's
-    wall clock server-side.
+    wall clock server-side. ``--trace-out FILE`` sends a ``trace_id``
+    with the request and writes the merged client+server wall-clock
+    Chrome trace built from the daemon's telemetry.
 ``serve-chaos [N]``
     Sweep N seeded network/daemon fault plans (connection resets,
     truncated/garbled/delayed responses, flush failures, mid-request
@@ -276,6 +292,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         idle_timeout=args.idle_timeout,
         allow_fault_injection=args.allow_chaos,
+        metrics_port=args.metrics_port,
+        profile=not args.no_profile,
     )
 
     def announce(server):
@@ -284,6 +302,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                f"repro.serve: metrics on "
+                f"http://{server.metrics_host}:{server.metrics_port}/metrics",
+                file=sys.stderr,
+                flush=True,
+            )
         print(
             f"repro.serve: {server.load_report.describe()}",
             file=sys.stderr,
@@ -387,12 +412,36 @@ def _cmd_request(args: argparse.Namespace) -> int:
             if args.retries > 0
             else None
         )
+        trace_wanted = args.trace_out is not None
+        if trace_wanted and not heavy:
+            print(
+                f"error: --trace-out only applies to "
+                f"{', '.join(_HEAVY_REQUEST_OPS)}",
+                file=sys.stderr,
+            )
+            return 2
         with ServeClient(
-            args.host, args.port, timeout=args.timeout, retry_policy=policy
+            args.host,
+            args.port,
+            timeout=args.timeout,
+            retry_policy=policy,
+            trace=trace_wanted,
         ) as client:
             response = client.call(args.op, **params)
+            trace = client.last_trace
         result = response["result"]
         telemetry = response.get("telemetry")
+        if trace_wanted:
+            from .obs import prof
+
+            server = trace.get("server") if trace else None
+            doc = prof.build_request_trace(
+                trace["trace_id"],
+                trace["client_span"],
+                server.get("spans", []) if isinstance(server, dict) else [],
+            )
+            prof.write_json(args.trace_out, doc)
+            print(f"[trace: {args.trace_out}]", file=sys.stderr)
     # The deterministic result alone goes to stdout (sorted keys), so a
     # served stdout and an --offline stdout are byte-comparable.
     print(json.dumps(result, sort_keys=True, indent=2))
@@ -434,6 +483,126 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"  speedup vs C        : {row.speedup_vs_seq:.1f}x")
     print(f"  Bamboo overhead     : {row.overhead:.1%}")
     print(f"  outputs match       : {row.outputs_match}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .obs import prof
+    from .obs.runmeta import run_metadata
+    from .schedule.anneal import AnnealConfig
+
+    if os.path.exists(args.target):
+        with open(args.target, "r") as handle:
+            source = handle.read()
+        label = args.target
+        prog_args = list(args.args)
+    elif args.target in benchmark_names():
+        from .bench import get_spec, load_source
+
+        spec = get_spec(args.target)
+        source = load_source(args.target)
+        label = spec.filename
+        prog_args = list(args.args) if args.args else list(spec.args)
+    else:
+        print(
+            f"error: {args.target!r} is neither a file nor a benchmark "
+            f"(benchmarks: {', '.join(benchmark_names())})",
+            file=sys.stderr,
+        )
+        return 2
+
+    anneal = AnnealConfig(
+        seed=args.seed,
+        max_iterations=args.iterations,
+        max_evaluations=args.evaluations,
+    )
+
+    def run_pipeline():
+        compiled = compile_program(source, label, optimize=args.optimize)
+        profile = profile_program(compiled, prog_args)
+        return synthesize_layout(
+            compiled,
+            profile,
+            args.cores,
+            options=SynthesisOptions(anneal=anneal, workers=args.workers),
+        )
+
+    started = time.perf_counter_ns()
+    with prof.profiled(record_spans=False) as profiler:
+        report = run_pipeline()
+    wall_ns = time.perf_counter_ns() - started
+
+    extra = {
+        "target": label,
+        "args": prog_args,
+        "cores": args.cores,
+        "seed": args.seed,
+        "workers": args.workers,
+        "estimated_cycles": report.estimated_cycles,
+        "evaluations": report.evaluations,
+    }
+    if args.overhead:
+        # The same pipeline with and without a profiler: the overhead the
+        # instrumentation costs when ON, and a results-identity check for
+        # the off-mode contract (same cycles either way). Min-of-N walls
+        # per mode, because single runs carry machine noise larger than
+        # the overhead being measured.
+        profiled_walls = [wall_ns]
+        unprofiled_walls = []
+        identical = True
+        for _ in range(args.overhead_runs):
+            rerun_started = time.perf_counter_ns()
+            baseline = run_pipeline()
+            unprofiled_walls.append(time.perf_counter_ns() - rerun_started)
+            identical &= baseline.estimated_cycles == report.estimated_cycles
+        for _ in range(args.overhead_runs - 1):
+            rerun_started = time.perf_counter_ns()
+            with prof.profiled(record_spans=False):
+                rerun = run_pipeline()
+            profiled_walls.append(time.perf_counter_ns() - rerun_started)
+            identical &= rerun.estimated_cycles == report.estimated_cycles
+        best_on, best_off = min(profiled_walls), min(unprofiled_walls)
+        extra["overhead"] = {
+            "profiled_wall_ns": best_on,
+            "unprofiled_wall_ns": best_off,
+            "profiled_walls_ns": profiled_walls,
+            "unprofiled_walls_ns": unprofiled_walls,
+            "overhead_fraction": (best_on - best_off) / best_off,
+            "results_identical": identical,
+        }
+
+    doc = profiler.snapshot(wall_ns=wall_ns, meta=run_metadata(), extra=extra)
+    print(prof.render_report(doc, top=args.top))
+    if args.overhead:
+        overhead = extra["overhead"]
+        print(
+            f"\noverhead vs unprofiled run: "
+            f"{overhead['overhead_fraction']:+.1%} "
+            f"(results identical: {overhead['results_identical']})"
+        )
+    if args.out:
+        prof.write_json(args.out, doc)
+        print(f"[profile: {args.out}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.artifacts import ArtifactError, summarize_artifact, validate_artifact
+
+    try:
+        if args.obs_command == "validate":
+            verdict = validate_artifact(args.file)
+            print(json.dumps(verdict, sort_keys=True, indent=2))
+        else:
+            print(summarize_artifact(args.file))
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {args.file}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -549,6 +718,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="wall-clock-profile the pipeline on a benchmark or program",
+    )
+    p_profile.add_argument(
+        "target",
+        help="a paper benchmark name (e.g. KMeans) or a .bam file path",
+    )
+    p_profile.add_argument(
+        "args", nargs="*",
+        help="program arguments (default: the benchmark's paper workload)",
+    )
+    p_profile.add_argument("--cores", type=int, default=16)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the layout search (note: the sim.* "
+             "buckets are only visible with 1 — pool workers profile "
+             "compute as a single search.worker_compute phase)",
+    )
+    p_profile.add_argument(
+        "--iterations", type=int, default=10, metavar="N",
+        help="anneal iteration budget (small default keeps runs short)",
+    )
+    p_profile.add_argument(
+        "--evaluations", type=int, default=600, metavar="N",
+        help="anneal simulation budget",
+    )
+    p_profile.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="run the scalar IR optimization passes",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the hottest-by-self-time table",
+    )
+    p_profile.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the repro.obs/profile-v1 JSON artifact here",
+    )
+    p_profile.add_argument(
+        "--overhead", action="store_true",
+        help="rerun the pipeline unprofiled, record the profiler's "
+             "overhead fraction in the artifact, and check the results "
+             "are identical either way",
+    )
+    p_profile.add_argument(
+        "--overhead-runs", type=int, default=2, metavar="N",
+        help="runs per mode for --overhead (min-of-N walls; single runs "
+             "carry machine noise larger than the overhead itself)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_obs = sub.add_parser(
+        "obs", help="validate or summarize an exported observability artifact"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_validate = obs_sub.add_parser(
+        "validate",
+        help="schema-check one exported file (JSON artifact or "
+             "Prometheus text); nonzero exit on any violation",
+    )
+    p_obs_validate.add_argument("file")
+    p_obs_validate.set_defaults(func=_cmd_obs)
+    p_obs_summarize = obs_sub.add_parser(
+        "summarize", help="one screen of text describing a validated export"
+    )
+    p_obs_summarize.add_argument("file")
+    p_obs_summarize.set_defaults(func=_cmd_obs)
+
     p_serve = sub.add_parser(
         "serve", help="start the synthesis daemon (repro.serve)"
     )
@@ -602,6 +841,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-chaos", action="store_true",
         help="accept the 'inject' fault-point operation (testing only)",
     )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="also serve GET /metrics (Prometheus text), /healthz, and "
+             "/profilez over HTTP on this port (0 picks an ephemeral "
+             "one, announced on stderr)",
+    )
+    p_serve.add_argument(
+        "--no-profile", action="store_true",
+        help="skip installing the daemon's wall-clock profiler "
+             "(disables /profilez and the repro_profile_* series)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_request = sub.add_parser(
@@ -647,6 +897,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=int, default=None, metavar="MS",
         help="ask the daemon to abandon the request past this wall-clock "
              "budget (it answers 'deadline_exceeded')",
+    )
+    p_request.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="trace the request end to end: send a trace_id, collect the "
+             "daemon's wall-clock spans from telemetry, and write the "
+             "merged client+server Chrome trace here",
     )
     p_request.set_defaults(func=_cmd_request)
 

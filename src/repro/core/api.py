@@ -36,7 +36,9 @@ from ..ir.builder import lower_program
 from ..ir.verify import verify_program
 from ..lang import ast
 from ..lang.errors import SemanticError
-from ..lang.parser import parse_program
+from ..lang.lexer import tokenize
+from ..lang.parser import Parser
+from ..obs import prof
 from ..runtime.interp import Interpreter
 from ..runtime.machine import MachineConfig, MachineResult, ManyCoreMachine
 from ..runtime.objects import BArray, Heap
@@ -45,6 +47,14 @@ from ..schedule.layout import Layout
 from ..sema.symbols import ProgramInfo
 from ..sema.typecheck import analyze
 from .options import RunOptions, _UNSET, warn_deprecated_kwargs
+
+_P_LEX = prof.intern_phase("pipeline.lex")
+_P_PARSE = prof.intern_phase("pipeline.parse")
+_P_TYPECHECK = prof.intern_phase("pipeline.typecheck")
+_P_IR = prof.intern_phase("pipeline.ir")
+_P_ANALYSIS = prof.intern_phase("pipeline.analysis")
+_P_PROFILE = prof.intern_phase("pipeline.profile")
+_P_RUN = prof.intern_phase("pipeline.run")
 
 
 @dataclass
@@ -75,18 +85,24 @@ def compile_program(
     preserved while cycle counts shrink slightly. The recorded experiment
     numbers use the straight translation.
     """
-    program = parse_program(source, filename)
-    info = analyze(program)
-    ir_program = lower_program(info)
-    verify_program(ir_program)
-    if optimize:
-        from ..ir.optimize import optimize_program
+    with prof.phase(_P_LEX):
+        tokens = tokenize(source, filename)
+    with prof.phase(_P_PARSE):
+        program = Parser(tokens, filename).parse_program()
+    with prof.phase(_P_TYPECHECK):
+        info = analyze(program)
+    with prof.phase(_P_IR):
+        ir_program = lower_program(info)
+        verify_program(ir_program)
+        if optimize:
+            from ..ir.optimize import optimize_program
 
-        optimize_program(ir_program)
-    astgs = build_all_astgs(info, ir_program)
-    cstg = CSTG.build(info, ir_program, astgs)
-    disjointness = analyze_disjointness(info, ir_program)
-    lock_plan = build_lock_plan(info, disjointness)
+            optimize_program(ir_program)
+    with prof.phase(_P_ANALYSIS):
+        astgs = build_all_astgs(info, ir_program)
+        cstg = CSTG.build(info, ir_program, astgs)
+        disjointness = analyze_disjointness(info, ir_program)
+        lock_plan = build_lock_plan(info, disjointness)
     return CompiledProgram(
         source=source,
         program=program,
@@ -144,7 +160,8 @@ def run_layout(
         config=options.machine_config(),
         collect_profile=options.collect_profile,
     )
-    result = machine.run(args)
+    with prof.phase(_P_RUN):
+        result = machine.run(args)
     _write_run_sinks(result, options)
     return result
 
@@ -154,12 +171,22 @@ def _write_run_sinks(result: MachineResult, options: RunOptions) -> None:
     if options.trace_path and result.events is not None:
         from ..obs import write_chrome_trace
 
-        write_chrome_trace(
+        doc = write_chrome_trace(
             options.trace_path,
             result.events,
             sorted(result.core_busy),
             makespan=result.total_cycles,
         )
+        # When a wall-clock profiler is recording spans, merge them in
+        # as an extra track so the simulated timeline and the real one
+        # land in a single Perfetto-loadable document.
+        profiler = prof.active()
+        if profiler is not None and profiler.record_spans:
+            import json as _json
+
+            doc["traceEvents"].extend(prof.span_trace_events(profiler))
+            with open(options.trace_path, "w") as handle:
+                _json.dump(doc, handle)
     if options.metrics_path and result.metrics is not None:
         from ..obs import write_metrics_snapshot
 
@@ -174,9 +201,10 @@ def profile_program(
     """Collects the profile that bootstraps synthesis (single-core unless a
     layout is given — the paper supports both, §4.3.1)."""
     layout = layout or single_core_layout(compiled)
-    result = run_layout(
-        compiled, layout, args, options=RunOptions(collect_profile=True)
-    )
+    with prof.phase(_P_PROFILE):
+        result = run_layout(
+            compiled, layout, args, options=RunOptions(collect_profile=True)
+        )
     assert result.profile is not None
     return result.profile
 

@@ -17,6 +17,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import prof
 from ..runtime.profiler import ProfileData
 from ..schedule.anneal import AnnealResult, DirectedSimulatedAnnealing
 from ..schedule.coregroup import GroupGraph, build_group_graph
@@ -24,6 +25,12 @@ from ..schedule.layout import Layout
 from ..schedule.rules import ReplicaSuggestion, suggest_replicas
 from .api import CompiledProgram, annotated_cstg
 from .options import SynthesisOptions, _UNSET, warn_deprecated_kwargs
+
+_P_SYNTHESIZE = prof.intern_phase("pipeline.synthesize")
+_P_CSTG = prof.intern_phase("synthesize.cstg")
+_P_GROUP_GRAPH = prof.intern_phase("synthesize.group_graph")
+_P_REPLICAS = prof.intern_phase("synthesize.replicas")
+_P_ANNEAL = prof.intern_phase("synthesize.anneal")
 
 
 @dataclass
@@ -100,10 +107,23 @@ def synthesize_layout(
         )
     options = options or SynthesisOptions()
 
+    with prof.phase(_P_SYNTHESIZE):
+        return _synthesize(compiled, profile, num_cores, options)
+
+
+def _synthesize(
+    compiled: CompiledProgram,
+    profile: ProfileData,
+    num_cores: int,
+    options: SynthesisOptions,
+) -> SynthesisReport:
     started = _time.perf_counter()
-    cstg = annotated_cstg(compiled, profile)
-    graph = build_group_graph(compiled.info, cstg, profile)
-    suggestions = suggest_replicas(compiled.info, graph, profile, num_cores)
+    with prof.phase(_P_CSTG):
+        cstg = annotated_cstg(compiled, profile)
+    with prof.phase(_P_GROUP_GRAPH):
+        graph = build_group_graph(compiled.info, cstg, profile)
+    with prof.phase(_P_REPLICAS):
+        suggestions = suggest_replicas(compiled.info, graph, profile, num_cores)
 
     from ..obs.metrics import MetricsRegistry, build_search_metrics
     from ..search import SimCache
@@ -138,7 +158,8 @@ def synthesize_layout(
         resume=options.resume,
         cancel_check=options.cancel_check,
     ) as dsa:
-        result: AnnealResult = dsa.run()
+        with prof.phase(_P_ANNEAL):
+            result: AnnealResult = dsa.run()
     wall = _time.perf_counter() - started
     supervision = result.supervision
     if supervision is not None:

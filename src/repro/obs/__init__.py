@@ -16,6 +16,14 @@ per-event allocation happens, and a run is bit-identical to one without
 this package.
 """
 
+from . import prof
+from .artifacts import (
+    ArtifactError,
+    identify,
+    load_artifact,
+    summarize_artifact,
+    validate_artifact,
+)
 from .events import (
     CheckpointWritten,
     Event,
@@ -32,18 +40,30 @@ from .export import (
     write_metrics_snapshot,
 )
 from .metrics import (
+    CYCLE_BUCKETS,
+    DEFAULT_BUCKETS,
+    Histogram,
     MetricsRegistry,
     build_metrics,
     build_search_metrics,
     build_serve_metrics,
     cycle_accounting,
 )
+from .prof import PROFILE_SCHEMA, Profiler
+from .promexp import render_prometheus, validate_prometheus_text
+from .runmeta import run_metadata
 
 __all__ = [
+    "ArtifactError",
+    "CYCLE_BUCKETS",
     "CheckpointWritten",
+    "DEFAULT_BUCKETS",
     "Event",
+    "Histogram",
     "MetricsRegistry",
+    "PROFILE_SCHEMA",
     "PoolRebuild",
+    "Profiler",
     "Tracer",
     "WorkerRetry",
     "build_metrics",
@@ -51,8 +71,15 @@ __all__ = [
     "build_serve_metrics",
     "chrome_trace",
     "cycle_accounting",
+    "identify",
     "legacy_line",
+    "load_artifact",
     "occupancy_intervals",
+    "prof",
+    "render_prometheus",
+    "run_metadata",
+    "summarize_artifact",
+    "validate_artifact",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics_snapshot",

@@ -85,22 +85,67 @@ class Gauge:
         self.value = value
 
 
+#: Default histogram boundaries, in seconds: sub-millisecond buckets at
+#: the bottom (profiler phase latencies live there) up through the
+#: multi-second synthesize requests the serve layer measures.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Boundaries for histograms observed in simulated cycles (task
+#: latencies, queue waits) rather than seconds.
+CYCLE_BUCKETS: Tuple[float, ...] = (
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000,
+    50_000, 100_000, 250_000, 1_000_000,
+)
+
+
 class Histogram:
-    """A distribution of observed values with summary statistics."""
+    """A distribution of observed values with summary statistics.
 
-    __slots__ = ("name", "values")
+    ``buckets`` are upper bounds (ascending; an implicit ``+Inf`` bucket
+    is always present) used by :meth:`bucket_counts` for the Prometheus
+    exposition and the ``buckets`` key of :meth:`summary`. Boundaries
+    are configurable per histogram because the registry mixes unit
+    domains: seconds for serve/profiler latencies, simulated cycles for
+    machine-run distributions.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "values", "buckets")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         self.name = name
         self.values: List[float] = []
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r}: bucket bounds must be a non-empty "
+                f"ascending sequence"
+            )
+        self.buckets = bounds
 
     def observe(self, value: float) -> None:
         self.values.append(value)
 
-    def summary(self) -> Dict[str, float]:
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative observation counts per upper bound (Prometheus
+        ``le`` semantics), including the terminal ``+Inf`` bucket."""
+        counts: Dict[str, int] = {}
+        ordered = sorted(self.values)
+        index = 0
+        for bound in self.buckets:
+            while index < len(ordered) and ordered[index] <= bound:
+                index += 1
+            counts[_bucket_label(bound)] = index
+        counts["+Inf"] = len(ordered)
+        return counts
+
+    def summary(self) -> Dict[str, object]:
         if not self.values:
             return {"count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0,
-                    "p50": 0, "p90": 0, "p99": 0}
+                    "p50": 0, "p90": 0, "p99": 0,
+                    "buckets": self.bucket_counts()}
         ordered = sorted(self.values)
         total = sum(ordered)
 
@@ -117,7 +162,13 @@ class Histogram:
             "p50": pct(0.50),
             "p90": pct(0.90),
             "p99": pct(0.99),
+            "buckets": self.bucket_counts(),
         }
+
+
+def _bucket_label(bound: float) -> str:
+    value = float(bound)
+    return str(int(value)) if value.is_integer() else repr(value)
 
 
 class MetricsRegistry:
@@ -138,9 +189,13 @@ class MetricsRegistry:
             self.gauges[name] = Gauge(name)
         return self.gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get-or-create; ``buckets`` only takes effect on creation (the
+        first registration of a family fixes its boundaries)."""
         if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
+            self.histograms[name] = Histogram(name, buckets=buckets)
         return self.histograms[name]
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
@@ -455,7 +510,7 @@ def build_metrics(
         if isinstance(event, TaskDispatch):
             registry.counter("task_dispatches").inc()
             span_starts[event.span] = event
-            registry.histogram("queue_wait").observe(
+            registry.histogram("queue_wait", buckets=CYCLE_BUCKETS).observe(
                 event.start - event.formed_at
             )
         elif isinstance(event, TaskCommit):
@@ -463,8 +518,10 @@ def build_metrics(
             dispatch = span_starts.get(event.span)
             if dispatch is not None:
                 latency = event.time - dispatch.start
-                registry.histogram("task_latency").observe(latency)
-                registry.histogram(f"task_latency[{event.task}]").observe(
+                registry.histogram("task_latency", buckets=CYCLE_BUCKETS).observe(latency)
+                registry.histogram(
+                    f"task_latency[{event.task}]", buckets=CYCLE_BUCKETS
+                ).observe(
                     latency
                 )
         elif isinstance(event, TaskPreempt):
@@ -487,7 +544,9 @@ def build_metrics(
             registry.counter("stalls").inc()
         elif isinstance(event, Detect):
             registry.counter("detections").inc()
-            registry.histogram("detection_latency").observe(event.latency)
+            registry.histogram(
+                "detection_latency", buckets=CYCLE_BUCKETS
+            ).observe(event.latency)
         elif isinstance(event, Evict):
             registry.counter("evictions").inc()
         elif isinstance(event, Rejoin):

@@ -1,0 +1,307 @@
+"""Prometheus text exposition (and its lint) for the metrics registry.
+
+The daemon's ``GET /metrics`` endpoint renders a
+:class:`repro.obs.metrics.MetricsRegistry` — plus the wall-clock
+profiler and a few server gauges — in the Prometheus text exposition
+format (version 0.0.4), stdlib-only so the serve layer stays
+dependency-free.
+
+The registry's internal naming convention ``family[label]`` (e.g.
+``serve_latency[synthesize]``) maps to the Prometheus idiom
+``repro_serve_latency{key="synthesize"}``; counters get the
+conventional ``_total`` suffix and histograms expand to cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+:func:`validate_prometheus_text` is the format lint used by tests and
+the CI serve-smoke job: it checks metric/label name grammar, TYPE
+declarations, escaping, and histogram invariants (``+Inf`` bucket
+present, cumulative counts monotone and equal to ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+NAMESPACE = "repro"
+
+_FAMILY_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\[(.+)\]$")
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _sanitize(text: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", text)
+    return out if _NAME_RE.match(out) else f"_{out}"
+
+
+def split_metric_name(name: str) -> Tuple[str, Dict[str, str]]:
+    """``family[label]`` -> (``family``, ``{"key": label}``)."""
+    match = _FAMILY_RE.match(name)
+    if match:
+        return _sanitize(match.group(1)), {"key": match.group(2)}
+    return _sanitize(name), {}
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+class _Writer:
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self.lines: List[str] = []
+        self._typed: Dict[str, str] = {}
+
+    def family(self, base: str, kind: str, help_text: str) -> str:
+        name = f"{self.namespace}_{base}"
+        if name not in self._typed:
+            self._typed[name] = kind
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    def sample(self, name: str, labels: Dict[str, str], value: float) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    namespace: str = NAMESPACE,
+    profiler=None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """The registry (and optionally the active profiler and ad-hoc
+    gauges) in Prometheus text exposition format."""
+    writer = _Writer(namespace)
+
+    families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    order: List[Tuple[str, str]] = []  # (base, kind) in first-seen order
+    for name, counter in sorted(registry.counters.items()):
+        base, labels = split_metric_name(name)
+        key = f"{base}_total"
+        if (key, "counter") not in order:
+            order.append((key, "counter"))
+        families.setdefault(key, []).append((labels, counter.value))
+    for name, gauge in sorted(registry.gauges.items()):
+        base, labels = split_metric_name(name)
+        if (base, "gauge") not in order:
+            order.append((base, "gauge"))
+        families.setdefault(base, []).append((labels, gauge.value))
+    for name, histogram in sorted(registry.histograms.items()):
+        base, labels = split_metric_name(name)
+        if (base, "histogram") not in order:
+            order.append((base, "histogram"))
+        families.setdefault(base, []).append((labels, histogram))
+
+    for base, kind in order:
+        help_text = {
+            "counter": f"registry counter {base}",
+            "gauge": f"registry gauge {base}",
+            "histogram": f"registry histogram {base}",
+        }[kind]
+        name = writer.family(base, kind, help_text)
+        for labels, value in families[base]:
+            if kind == "histogram":
+                histogram = value
+                cumulative = 0
+                bounds = list(histogram.buckets) + [math.inf]
+                counts = histogram.bucket_counts()
+                for bound in bounds:
+                    cumulative = counts[_bucket_key(bound)]
+                    writer.sample(
+                        f"{name}_bucket",
+                        dict(labels, le=_fmt(float(bound))),
+                        cumulative,
+                    )
+                writer.sample(f"{name}_sum", labels, float(sum(histogram.values)))
+                writer.sample(f"{name}_count", labels, len(histogram.values))
+            else:
+                writer.sample(name, labels, float(value))
+
+    if extra_gauges:
+        for raw, value in sorted(extra_gauges.items()):
+            base, labels = split_metric_name(raw)
+            name = writer.family(base, "gauge", f"server gauge {base}")
+            writer.sample(name, labels, float(value))
+
+    if profiler is not None:
+        doc = profiler.snapshot()
+        from .prof import flatten  # local import: prof has no deps on us
+
+        seconds = writer.family(
+            "profile_phase_seconds_total", "counter",
+            "wall-clock seconds per profiler phase (cumulative)",
+        )
+        calls = writer.family(
+            "profile_phase_calls_total", "counter",
+            "profiler phase entry count",
+        )
+        for row in flatten(doc):
+            labels = {"phase": row["path"]}
+            writer.sample(
+                seconds, dict(labels, kind="total"), row["total_ns"] / 1e9
+            )
+            writer.sample(
+                seconds, dict(labels, kind="self"),
+                max(0, row["self_ns"]) / 1e9,
+            )
+            writer.sample(calls, labels, row["count"])
+        if doc["counters"]:
+            family = writer.family(
+                "profile_counter_total", "counter", "profiler named counters"
+            )
+            for name, value in doc["counters"].items():
+                writer.sample(family, {"name": _sanitize(name)}, value)
+
+    return "\n".join(writer.lines) + "\n"
+
+
+def _bucket_key(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _fmt(float(bound))
+
+
+# -- lint --------------------------------------------------------------------
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def validate_prometheus_text(text: str) -> Dict[str, object]:
+    """Lints one exposition document; raises :class:`ValueError` on any
+    format violation, returns a summary for count assertions."""
+    types: Dict[str, str] = {}
+    samples = 0
+    histogram_state: Dict[str, Dict[str, object]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE {kind!r}")
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for piece in _LABEL_RE.finditer(raw_labels):
+                labels[piece.group("name")] = piece.group("value")
+                consumed = piece.end()
+                rest = raw_labels[consumed:]
+                if rest.startswith(","):
+                    consumed += 1
+            stripped = re.sub(_LABEL_RE, "", raw_labels).replace(",", "").strip()
+            if stripped:
+                raise ValueError(
+                    f"line {lineno}: malformed labels {raw_labels!r}"
+                )
+            for label in labels:
+                if not _LABEL_NAME_RE.match(label):
+                    raise ValueError(f"line {lineno}: bad label name {label!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            ) from None
+        samples += 1
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and types.get(trimmed) in ("histogram", "summary"):
+                family = trimmed
+                break
+        if family not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+        if types[family] == "histogram":
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            state = histogram_state.setdefault(
+                f"{family}{series}", {"buckets": [], "count": None}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(
+                        f"line {lineno}: histogram bucket without 'le'"
+                    )
+                state["buckets"].append((_parse_value(labels["le"]), value))
+            elif name.endswith("_count"):
+                state["count"] = value
+
+    for key, state in histogram_state.items():
+        buckets = sorted(state["buckets"], key=lambda item: item[0])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"histogram {key}: missing '+Inf' bucket")
+        counts = [count for _, count in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise ValueError(f"histogram {key}: bucket counts not cumulative")
+        if state["count"] is not None and counts[-1] != state["count"]:
+            raise ValueError(
+                f"histogram {key}: +Inf bucket != _count "
+                f"({counts[-1]} vs {state['count']})"
+            )
+
+    return {
+        "families": len(types),
+        "samples": samples,
+        "histograms": sum(1 for kind in types.values() if kind == "histogram"),
+    }

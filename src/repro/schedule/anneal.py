@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..search import Evaluator, SimCache
 
 from ..lang.errors import ScheduleError
+from ..obs import prof
 from ..runtime.profiler import ProfileData
 from .coregroup import GroupGraph, build_group_graph, task_is_replicable
 from .critpath import compute_critical_path, suggest_moves
@@ -59,6 +60,11 @@ from .mapping import (
 )
 from .rules import replica_choice_sets, suggest_replicas
 from .simulator import SimResult
+
+_P_ITERATION = prof.intern_phase("anneal.iteration")
+_P_EVALUATE = prof.intern_phase("anneal.evaluate")
+_P_CANDIDATES = prof.intern_phase("anneal.candidates")
+_P_CHECKPOINT = prof.intern_phase("anneal.checkpoint")
 
 
 class SearchCancelled(ScheduleError):
@@ -423,85 +429,95 @@ class DirectedSimulatedAnnealing:
                     f"iteration(s) / {self.evaluations} simulation(s)"
                 )
             iterations += 1
-            # Score the whole candidate set as one batch. The cutoff is the
-            # incumbent best *entering* the iteration — fixed for the batch,
-            # so the outcome cannot depend on evaluation order or worker
-            # count. Budget counts real simulations only, unless
-            # ``budget_charges_hits`` charges every request (the serve
-            # mode's cache-state-independent budget).
-            cutoff = (
-                best_cycles
-                if config.early_cutoff and best_cycles < (1 << 62)
-                else None
-            )
-            spent = self.evaluations + (self.cache_hits if charge_hits else 0)
-            outcome = self.evaluator.evaluate(
-                candidates,
-                cutoff=cutoff,
-                budget=config.max_evaluations - spent,
-                charge_hits=charge_hits,
-            )
-            self.evaluations += outcome.simulations
-            self.cache_hits += outcome.cache_hits
-            self.pruned_evaluations += outcome.pruned
-            scored: List[Tuple[int, Layout, SimResult]] = [
-                (item.cycles, item.layout, item.result)
-                for item in outcome.scored
-            ]
-            scored.sort(key=lambda item: item[0])
-            improved = scored and scored[0][0] < best_cycles
-            if improved:
-                best_cycles, best_layout = scored[0][0], scored[0][1]
-            history.append(best_cycles)
-
-            spent = self.evaluations + (self.cache_hits if charge_hits else 0)
-            if spent >= config.max_evaluations:
-                break
-
-            # Probabilistic pruning: keep the best layouts with certainty,
-            # poor layouts with a small probability.
-            kept = scored[: config.keep_best]
-            for item in scored[config.keep_best :]:
-                if self.rng.random() < config.keep_poor_probability:
-                    kept.append(item)
-
-            # Generate the next candidate set.
-            next_candidates: List[Layout] = []
-            seen = set()
-
-            def push(layout: Layout) -> None:
-                key = (layout.canonical_key(), tuple(layout.cores_used()))
-                if key not in seen:
-                    seen.add(key)
-                    next_candidates.append(layout)
-
-            for cycles, layout, result in kept:
-                push(layout)
-                if config.use_critical_path:
-                    for neighbor in self._critical_path_neighbors(layout, result):
-                        push(neighbor)
-                for neighbor in self._random_neighbors(layout):
-                    push(neighbor)
-
-            if not improved:
-                patience -= 1
-                if patience <= 0:
-                    # Possibly a local maximum: continue with high
-                    # probability (paper §4.5), otherwise stop.
-                    if self.rng.random() < config.continue_probability:
-                        patience = config.patience
-                    else:
-                        break
-            else:
-                patience = config.patience
-            candidates = next_candidates
-            if not candidates:
-                break
-            if checkpointing:
-                self._checkpoint_boundary(
-                    config, iterations, best_layout, best_cycles, candidates,
-                    history, patience, initial_snapshot,
+            with prof.phase(_P_ITERATION):
+                # Score the whole candidate set as one batch. The cutoff is
+                # the incumbent best *entering* the iteration — fixed for the
+                # batch, so the outcome cannot depend on evaluation order or
+                # worker count. Budget counts real simulations only, unless
+                # ``budget_charges_hits`` charges every request (the serve
+                # mode's cache-state-independent budget).
+                cutoff = (
+                    best_cycles
+                    if config.early_cutoff and best_cycles < (1 << 62)
+                    else None
                 )
+                spent = self.evaluations + (
+                    self.cache_hits if charge_hits else 0
+                )
+                with prof.phase(_P_EVALUATE):
+                    outcome = self.evaluator.evaluate(
+                        candidates,
+                        cutoff=cutoff,
+                        budget=config.max_evaluations - spent,
+                        charge_hits=charge_hits,
+                    )
+                self.evaluations += outcome.simulations
+                self.cache_hits += outcome.cache_hits
+                self.pruned_evaluations += outcome.pruned
+                scored: List[Tuple[int, Layout, SimResult]] = [
+                    (item.cycles, item.layout, item.result)
+                    for item in outcome.scored
+                ]
+                scored.sort(key=lambda item: item[0])
+                improved = scored and scored[0][0] < best_cycles
+                if improved:
+                    best_cycles, best_layout = scored[0][0], scored[0][1]
+                history.append(best_cycles)
+
+                spent = self.evaluations + (
+                    self.cache_hits if charge_hits else 0
+                )
+                if spent >= config.max_evaluations:
+                    break
+
+                # Probabilistic pruning: keep the best layouts with
+                # certainty, poor layouts with a small probability.
+                kept = scored[: config.keep_best]
+                for item in scored[config.keep_best :]:
+                    if self.rng.random() < config.keep_poor_probability:
+                        kept.append(item)
+
+                # Generate the next candidate set.
+                next_candidates: List[Layout] = []
+                seen = set()
+
+                def push(layout: Layout) -> None:
+                    key = (layout.canonical_key(), tuple(layout.cores_used()))
+                    if key not in seen:
+                        seen.add(key)
+                        next_candidates.append(layout)
+
+                with prof.phase(_P_CANDIDATES):
+                    for cycles, layout, result in kept:
+                        push(layout)
+                        if config.use_critical_path:
+                            for neighbor in self._critical_path_neighbors(
+                                layout, result
+                            ):
+                                push(neighbor)
+                        for neighbor in self._random_neighbors(layout):
+                            push(neighbor)
+
+                if not improved:
+                    patience -= 1
+                    if patience <= 0:
+                        # Possibly a local maximum: continue with high
+                        # probability (paper §4.5), otherwise stop.
+                        if self.rng.random() < config.continue_probability:
+                            patience = config.patience
+                        else:
+                            break
+                else:
+                    patience = config.patience
+                candidates = next_candidates
+                if not candidates:
+                    break
+                if checkpointing:
+                    with prof.phase(_P_CHECKPOINT):
+                        self._checkpoint_boundary(
+                            config, iterations, best_layout, best_cycles,
+                            candidates, history, patience, initial_snapshot,
+                        )
 
         stats = getattr(self.evaluator, "stats", None)
         return AnnealResult(

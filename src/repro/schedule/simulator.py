@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter_ns as _perf_counter_ns
 from typing import Deque, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
@@ -33,7 +34,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..analysis.astate import AState, guard_matches
 from ..ir import costs
 from ..lang.errors import ScheduleError
+from ..obs import prof
 from ..runtime.profiler import ProfileData
+
+# Internal wall-clock buckets, flushed to the active profiler at the end of
+# one run() (see ROADMAP item 1: "where does the simulator spend its
+# time?"). With no profiler installed the per-event instrumentation is a
+# single ``None`` check and the buckets never exist.
+_P_SIM_QUEUE = prof.intern_phase("sim.queue")
+_P_SIM_ARRIVE = prof.intern_phase("sim.arrive")
+_P_SIM_DISPATCH = prof.intern_phase("sim.dispatch")
+_P_SIM_MAIL = prof.intern_phase("sim.mail")
+_P_SIM_FORM = prof.intern_phase("sim.form")
+_C_SIM_EVENTS = prof.intern_phase("sim.events_processed")
+
+#: one event in this many is wall-clock-timed end-to-end by the profiled
+#: drain loop; counts stay exact, times are scaled at flush
+_SAMPLE_EVERY = 16
+
+_BUCKET_KEYS = {
+    "queue": _P_SIM_QUEUE,
+    "arrive": _P_SIM_ARRIVE,
+    "dispatch": _P_SIM_DISPATCH,
+    "mail": _P_SIM_MAIL,
+    "form": _P_SIM_FORM,
+}
 from ..schedule.layout import (
     Layout,
     Router,
@@ -235,6 +260,19 @@ class SchedulingSimulator:
         self.trace: List[TraceEvent] = []
         self.invocations: Dict[str, int] = {}
         self.core_busy: Dict[int, int] = {c: 0 for c in layout.cores_used()}
+        #: wall-clock bucket accounting (see _drain_profiled).
+        #: ``_counting`` is True for the whole profiled drain (the
+        #: wrapped _route/_try_form count their calls); ``_timing`` only
+        #: inside a sampled event (they also read the clock). The cells
+        #: must be attributes, not run()-locals, to be visible there.
+        self._counting = False
+        self._timing = False
+        self._mail_ns = 0
+        self._form_ns = 0
+        self._mail_n = 0
+        self._form_n = 0
+        self._mail_k = 0
+        self._form_k = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -260,10 +298,35 @@ class SchedulingSimulator:
     # -- main loop ----------------------------------------------------------------
 
     def run(self) -> SimResult:
+        profiler = prof.active()
+
         startup_state = AState.make([builtins.STARTUP_FLAG])
         startup = self._new_object(builtins.STARTUP_CLASS, startup_state, None)
         self._route(startup, None, costs.RUNTIME_INIT_COST, producer_event=None)
 
+        if profiler is None:
+            processed, finished, pruned, last_time = self._drain()
+        else:
+            processed, finished, pruned, last_time = self._drain_profiled(
+                profiler
+            )
+
+        total = max([last_time] + list(self.busy_until.values()))
+        busy_time = sum(self.core_busy.values())
+        cores = max(1, len(self.core_busy))
+        utilization = busy_time / (cores * total) if total else 0.0
+        return SimResult(
+            total_cycles=total,
+            finished=finished,
+            trace=self.trace,
+            core_busy=dict(self.core_busy),
+            invocations=dict(self.invocations),
+            utilization=utilization,
+            pruned=pruned,
+        )
+
+    def _drain(self) -> Tuple[int, bool, bool, int]:
+        """The event loop, unobserved: the simulator's hot path."""
         processed = 0
         finished = True
         pruned = False
@@ -289,20 +352,172 @@ class SchedulingSimulator:
                 self._dispatch(core, time)
             else:  # pragma: no cover
                 raise ScheduleError(f"unknown sim event {kind}")
+        return processed, finished, pruned, last_time
 
-        total = max([last_time] + list(self.busy_until.values()))
-        busy_time = sum(self.core_busy.values())
-        cores = max(1, len(self.core_busy))
-        utilization = busy_time / (cores * total) if total else 0.0
-        return SimResult(
-            total_cycles=total,
-            finished=finished,
-            trace=self.trace,
-            core_busy=dict(self.core_busy),
-            invocations=dict(self.invocations),
-            utilization=utilization,
-            pruned=pruned,
-        )
+    def _drain_profiled(self, profiler) -> Tuple[int, bool, bool, int]:
+        """The event loop with sampled per-bucket wall accounting.
+
+        Same event-for-event behavior as :meth:`_drain` — the results
+        are bit-identical either way; only wall clocks are read in
+        addition. Reading the clock around every one of the millions of
+        loop iterations would cost more than the work being measured
+        (~150ns per ``perf_counter_ns`` here), so one event in
+        :data:`_SAMPLE_EVERY` is timed end-to-end: its pop goes to the
+        ``queue`` bucket, its handler to ``arrive``/``dispatch``, and —
+        only inside the sampled window — the wrapped _route/_try_form
+        time themselves into ``mail``/``form``, whose delta is
+        subtracted from the handler's bucket to keep the five disjoint.
+        Call *counts* are exact; at flush the sampled times are scaled
+        by the per-bucket inverse sampling fraction and normalized so
+        the five buckets tile the once-measured loop wall exactly.
+        """
+        self._counting = True
+        self._mail_ns = self._form_ns = 0
+        self._mail_n = self._form_n = 0
+        self._mail_k = self._form_k = 0
+        clock = _perf_counter_ns
+        pop = heapq.heappop
+        events = self._events
+        cutoff = self.cutoff
+        max_events = self.max_events
+        queue_ns = arrive_ns = dispatch_ns = 0
+        sampled = arrive_k = dispatch_k = 0
+        arrive_n = dispatch_n = 0
+        countdown = 1  # sample the first event, then every Nth
+        processed = 0
+        finished = True
+        pruned = False
+        last_time = costs.RUNTIME_INIT_COST
+        loop_start = clock()
+        try:
+            while events:
+                processed += 1
+                if processed > max_events:
+                    finished = False
+                    break
+                countdown -= 1
+                if countdown:  # unsampled: _drain's body plus exact counts
+                    time, _, kind, payload = pop(events)
+                    if cutoff is not None and time > cutoff:
+                        pruned = True
+                        last_time = max(last_time, time)
+                        break
+                    last_time = max(last_time, time)
+                    if kind == "arrive":
+                        arrive_n += 1
+                        core, task, param_index, entry = payload
+                        self._arrive(core, task, param_index, entry, time)
+                    elif kind == "kick":
+                        dispatch_n += 1
+                        (core,) = payload
+                        self._dispatch(core, time)
+                    else:  # pragma: no cover
+                        raise ScheduleError(f"unknown sim event {kind}")
+                    continue
+                countdown = _SAMPLE_EVERY
+                sampled += 1
+                tick = clock()
+                time, _, kind, payload = pop(events)
+                now = clock()
+                queue_ns += now - tick
+                tick = now
+                if cutoff is not None and time > cutoff:
+                    pruned = True
+                    last_time = max(last_time, time)
+                    break
+                last_time = max(last_time, time)
+                self._timing = True
+                nested = self._mail_ns + self._form_ns
+                if kind == "arrive":
+                    arrive_n += 1
+                    core, task, param_index, entry = payload
+                    self._arrive(core, task, param_index, entry, time)
+                    now = clock()
+                    arrive_ns += (
+                        now - tick - (self._mail_ns + self._form_ns - nested)
+                    )
+                    arrive_k += 1
+                elif kind == "kick":
+                    dispatch_n += 1
+                    (core,) = payload
+                    self._dispatch(core, time)
+                    now = clock()
+                    dispatch_ns += (
+                        now - tick - (self._mail_ns + self._form_ns - nested)
+                    )
+                    dispatch_k += 1
+                else:  # pragma: no cover
+                    raise ScheduleError(f"unknown sim event {kind}")
+                self._timing = False
+        finally:
+            loop_ns = clock() - loop_start
+            self._counting = False
+            self._timing = False
+            estimates = {
+                "queue": queue_ns * processed // sampled if sampled else 0,
+                "arrive": (
+                    arrive_ns * arrive_n // arrive_k if arrive_k else 0
+                ),
+                "dispatch": (
+                    dispatch_ns * dispatch_n // dispatch_k if dispatch_k else 0
+                ),
+                "mail": (
+                    self._mail_ns * self._mail_n // self._mail_k
+                    if self._mail_k
+                    else 0
+                ),
+                "form": (
+                    self._form_ns * self._form_n // self._form_k
+                    if self._form_k
+                    else 0
+                ),
+            }
+            self._flush_buckets(
+                profiler,
+                loop_ns,
+                estimates,
+                {
+                    "queue": processed,
+                    "arrive": arrive_n,
+                    "dispatch": dispatch_n,
+                    "mail": self._mail_n,
+                    "form": self._form_n,
+                },
+            )
+        return processed, finished, pruned, last_time
+
+    def _flush_buckets(
+        self,
+        profiler,
+        loop_ns: int,
+        estimates: Dict[str, int],
+        counts: Dict[str, int],
+    ) -> None:
+        """Attributes the sampled bucket estimates to the active profiler.
+
+        The estimates are normalized to sum exactly to ``loop_ns`` — the
+        real in-thread wall of the drain loop — so the exclusive
+        attribution stays honest: the buckets subtract from the calling
+        phase's self time (``search.dispatch`` for a serial search,
+        ``pipeline.run`` for a machine run) precisely the time the loop
+        actually spent.
+        """
+        total = sum(estimates.values())
+        if total <= 0 or loop_ns <= 0:
+            if counts["queue"]:
+                profiler.add_count(_C_SIM_EVENTS, counts["queue"])
+            return
+        buckets = {
+            name: value * loop_ns // total for name, value in estimates.items()
+        }
+        largest = max(buckets, key=lambda name: buckets[name])
+        buckets[largest] += loop_ns - sum(buckets.values())
+        for name, key in _BUCKET_KEYS.items():
+            if buckets[name]:
+                profiler.add_time(
+                    key, buckets[name], count=counts[name], exclusive=True
+                )
+        profiler.add_count(_C_SIM_EVENTS, counts["queue"])
 
     # -- arrivals & invocation formation -----------------------------------------
 
@@ -315,6 +530,19 @@ class SchedulingSimulator:
             self._push(time, "kick", (core,))
 
     def _try_form(self, core: int, task: str, time: int) -> None:
+        if not self._counting:
+            return self._try_form_impl(core, task, time)
+        self._form_n += 1
+        if not self._timing:
+            return self._try_form_impl(core, task, time)
+        tick = _perf_counter_ns()
+        try:
+            return self._try_form_impl(core, task, time)
+        finally:
+            self._form_ns += _perf_counter_ns() - tick
+            self._form_k += 1
+
+    def _try_form_impl(self, core: int, task: str, time: int) -> None:
         params = self.info.task_info(task).decl.params
         sets = [
             self.param_sets[(core, task, index)] for index in range(len(params))
@@ -485,6 +713,25 @@ class SchedulingSimulator:
     # -- routing --------------------------------------------------------------------
 
     def _route(
+        self,
+        obj: SimObject,
+        sender: Optional[int],
+        time: int,
+        producer_event: Optional[int],
+    ) -> None:
+        if not self._counting:
+            return self._route_impl(obj, sender, time, producer_event)
+        self._mail_n += 1
+        if not self._timing:
+            return self._route_impl(obj, sender, time, producer_event)
+        tick = _perf_counter_ns()
+        try:
+            return self._route_impl(obj, sender, time, producer_event)
+        finally:
+            self._mail_ns += _perf_counter_ns() - tick
+            self._mail_k += 1
+
+    def _route_impl(
         self,
         obj: SimObject,
         sender: Optional[int],

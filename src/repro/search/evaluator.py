@@ -34,6 +34,7 @@ from __future__ import annotations
 import atexit
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter_ns as _perf_counter_ns
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -42,6 +43,7 @@ try:  # pragma: no cover - exercised only where Protocol is available
 except ImportError:  # pragma: no cover - py3.7 fallback
     Protocol = object  # type: ignore[assignment]
 
+from ..obs import prof
 from ..schedule.layout import Layout
 from ..schedule.mapping import layout_fingerprint
 from ..schedule.simulator import SchedulingSimulator, SimResult
@@ -54,6 +56,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sentinel cycle count for simulations that did not finish — worse than
 #: any real layout, so unfinishable candidates always rank last.
 INFEASIBLE_CYCLES = 1 << 62
+
+_P_CACHE_LOOKUP = prof.intern_phase("search.cache_lookup")
+_P_DISPATCH = prof.intern_phase("search.dispatch")
+_P_REDUCE = prof.intern_phase("search.reduce")
+#: Worker-reported simulation time, attributed as a *non-exclusive*
+#: child of ``search.dispatch`` — so the dispatch phase's self time is
+#: the wall the compute does not explain: serialization + IPC + waiting.
+_P_COMPUTE = prof.intern_phase("search.worker_compute")
+_C_POOL_DISPATCHES = prof.intern_phase("search.pool_dispatches")
 
 
 class EvaluationError(RuntimeError):
@@ -213,33 +224,37 @@ class _EvaluatorBase:
         budget: Optional[int] = None,
         charge_hits: bool = False,
     ) -> BatchOutcome:
-        plan, hits = self._plan(layouts, cutoff, budget, charge_hits)
+        with prof.phase(_P_CACHE_LOOKUP):
+            plan, hits = self._plan(layouts, cutoff, budget, charge_hits)
         outcome = BatchOutcome(cache_hits=hits)
         miss_indices = [
             index for index, item in enumerate(plan) if item[2] is None
         ]
-        results = self._simulate(
-            [plan[index][1] for index in miss_indices], cutoff
-        )
-        for index, result in zip(miss_indices, results):
-            outcome.simulations += 1
-            if result.pruned:
-                outcome.pruned += 1
-            position, layout, _, fingerprint = plan[index]
-            plan[index] = (
-                position, layout, self._record(fingerprint, result), fingerprint
+        with prof.phase(_P_DISPATCH):
+            results = self._simulate(
+                [plan[index][1] for index in miss_indices], cutoff
             )
-        simulated = set(miss_indices)
-        for index, (_, layout, entry, _) in enumerate(plan):
-            assert entry is not None
-            outcome.scored.append(
-                ScoredLayout(
-                    layout=layout,
-                    cycles=entry.cycles,
-                    result=entry.result,
-                    from_cache=index not in simulated,
+        with prof.phase(_P_REDUCE):
+            for index, result in zip(miss_indices, results):
+                outcome.simulations += 1
+                if result.pruned:
+                    outcome.pruned += 1
+                position, layout, _, fingerprint = plan[index]
+                plan[index] = (
+                    position, layout, self._record(fingerprint, result),
+                    fingerprint,
                 )
-            )
+            simulated = set(miss_indices)
+            for index, (_, layout, entry, _) in enumerate(plan):
+                assert entry is not None
+                outcome.scored.append(
+                    ScoredLayout(
+                        layout=layout,
+                        cycles=entry.cycles,
+                        result=entry.result,
+                        from_cache=index not in simulated,
+                    )
+                )
         return outcome
 
     # -- backend hooks -------------------------------------------------------
@@ -302,6 +317,10 @@ def _init_worker(compiled, profile, hints, core_speeds) -> None:
     _WORKER_CONTEXT["profile"] = profile
     _WORKER_CONTEXT["hints"] = hints
     _WORKER_CONTEXT["core_speeds"] = core_speeds
+    # A forked worker inherits the parent's installed profiler; anything
+    # it would record dies with the process, so drop it — the parent
+    # attributes worker compute from the timed entry point instead.
+    prof.uninstall()
 
 
 def _simulate_in_worker(layout: Layout, cutoff: Optional[int]) -> SimResult:
@@ -313,6 +332,18 @@ def _simulate_in_worker(layout: Layout, cutoff: Optional[int]) -> SimResult:
         core_speeds=_WORKER_CONTEXT["core_speeds"],
         cutoff=cutoff,
     ).run()
+
+
+def _simulate_in_worker_timed(
+    layout: Layout, cutoff: Optional[int]
+) -> Tuple[int, SimResult]:
+    """The worker entry used when a profiler is active in the parent:
+    returns ``(compute_ns, result)`` so the parent can split its dispatch
+    wall into worker compute vs IPC overhead. The result object itself is
+    untouched — cache entries and checkpoints never see the timing."""
+    started = _perf_counter_ns()
+    result = _simulate_in_worker(layout, cutoff)
+    return _perf_counter_ns() - started, result
 
 
 class ParallelEvaluator(_EvaluatorBase):
@@ -368,16 +399,35 @@ class ParallelEvaluator(_EvaluatorBase):
             # Not worth a round trip; the serial path is bit-identical.
             return SerialEvaluator._simulate(self, layouts, cutoff)
         pool = self._pool()
+        profiler = prof.active()
+        worker = (
+            _simulate_in_worker if profiler is None else _simulate_in_worker_timed
+        )
         futures = [
-            pool.submit(_simulate_in_worker, layout, cutoff)
-            for layout in layouts
+            pool.submit(worker, layout, cutoff) for layout in layouts
         ]
         results: List[SimResult] = []
+        compute_ns = 0
         for position, future in enumerate(futures):
             try:
-                results.append(future.result())
+                outcome = future.result()
             except Exception as exc:
                 raise EvaluationError(position, len(futures), exc) from exc
+            if profiler is None:
+                results.append(outcome)
+            else:
+                elapsed, result = outcome
+                compute_ns += elapsed
+                results.append(result)
+        if profiler is not None:
+            # Non-exclusive: worker compute overlaps the parent's
+            # ``search.dispatch`` wall (and, with N workers, can exceed
+            # it), so it must not be subtracted from dispatch self time —
+            # dispatch self is exactly the IPC + wait overhead.
+            profiler.add_time(
+                _P_COMPUTE, compute_ns, count=len(results), exclusive=False
+            )
+            profiler.add_count(_C_POOL_DISPATCHES)
         return results
 
     def close(self) -> None:

@@ -53,6 +53,7 @@ try:  # pragma: no cover - present on every supported runtime
 except ImportError:  # pragma: no cover - defensive
     BrokenProcessPool = OSError  # type: ignore[assignment,misc]
 
+from ..obs import prof
 from ..obs.events import Event, PoolRebuild, WorkerRetry
 from ..schedule.layout import Layout
 from ..schedule.simulator import SimResult
@@ -61,6 +62,8 @@ from .evaluator import (
     EvaluationError,
     ParallelEvaluator,
     SerialEvaluator,
+    _C_POOL_DISPATCHES,
+    _P_COMPUTE,
     _init_worker,
     _simulate_in_worker,
 )
@@ -309,6 +312,13 @@ class SupervisedEvaluator(ParallelEvaluator):
         total = len(layouts)
         results: List[Optional[SimResult]] = [None] * total
         attempts = [0] * total
+        profiler = prof.active()
+        # Worker wall-time harvested from completed dispatches; attributed
+        # non-exclusively so the parent's dispatch self time stays the
+        # IPC + supervision overhead (serial fallbacks compute in-process
+        # and are therefore already inside the dispatch wall).
+        compute_ns = 0
+        compute_count = 0
         self._pending: List[int] = list(range(total))
         try:
             while self._pending:
@@ -368,6 +378,8 @@ class SupervisedEvaluator(ParallelEvaluator):
                         except Exception as exc:
                             raise EvaluationError(index, total, exc) from exc
                         self._observe(elapsed)
+                        compute_ns += int(elapsed * 1e9)
+                        compute_count += 1
                         results[index] = result
                         collected.append(index)
                     if failure is not None:
@@ -384,6 +396,8 @@ class SupervisedEvaluator(ParallelEvaluator):
                             except Exception:
                                 continue
                             self._observe(elapsed)
+                            compute_ns += int(elapsed * 1e9)
+                            compute_count += 1
                             results[index] = result
                             collected.append(index)
 
@@ -406,5 +420,10 @@ class SupervisedEvaluator(ParallelEvaluator):
                 self._handle_pool_failure(failure, retried=len(pending))
         finally:
             self._pending = []
+            if profiler is not None and compute_count:
+                profiler.add_time(
+                    _P_COMPUTE, compute_ns, count=compute_count, exclusive=False
+                )
+                profiler.add_count(_C_POOL_DISPATCHES)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]

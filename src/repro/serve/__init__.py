@@ -44,6 +44,7 @@ from .protocol import (
     OPS,
     PROTOCOL,
     RETRYABLE_CODES,
+    TRACE_FIELD,
     ProtocolError,
     context_key,
     request_key,
@@ -86,6 +87,7 @@ __all__ = [
     "StoreLoadReport",
     "SynthesisServer",
     "SynthesizeSpec",
+    "TRACE_FIELD",
     "context_key",
     "execute_compile",
     "execute_profile",

@@ -42,6 +42,7 @@ SimCache or coalescing). A :class:`ServeClient` constructed with a
 from __future__ import annotations
 
 import hashlib
+import os
 import socket
 import time
 from dataclasses import dataclass
@@ -49,6 +50,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..lang.errors import BambooError
 from .protocol import (
+    HEAVY_OPS,
     MAX_LINE_BYTES,
     RETRYABLE_CODES,
     ProtocolError,
@@ -149,6 +151,7 @@ class ServeClient:
         port: int,
         timeout: Optional[float] = 60.0,
         retry_policy: Optional[ClientRetryPolicy] = None,
+        trace: bool = False,
     ):
         self.host = host
         self.port = port
@@ -156,6 +159,13 @@ class ServeClient:
         self.retry_policy = retry_policy
         if retry_policy is not None:
             retry_policy.validate()
+        #: with ``trace=True`` every heavy call carries a generated
+        #: ``trace_id`` and :attr:`last_trace` holds the round trip
+        self.trace = trace
+        #: ``{"trace_id", "op", "client_span", "server"}`` of the most
+        #: recent traced heavy call (``server`` is the daemon's telemetry
+        #: echo: its ``span_id`` plus the spans its pipeline closed)
+        self.last_trace: Optional[Dict[str, object]] = None
         #: connection-level retries performed over this client's lifetime
         self.retries = 0
         #: reconnections performed (first connect excluded)
@@ -272,6 +282,37 @@ class ServeClient:
         """
         request: Dict[str, object] = {"op": op}
         request.update(params)
+        trace_id: Optional[str] = None
+        if self.trace and op in HEAVY_OPS:
+            trace_id = request.get("trace_id") or os.urandom(8).hex()
+            request["trace_id"] = trace_id
+            started_ns = time.perf_counter_ns()
+        try:
+            response = self._call_with_retries(op, request)
+        finally:
+            if trace_id is not None:
+                self.last_trace = None
+        if trace_id is not None:
+            telemetry = response.get("telemetry")
+            self.last_trace = {
+                "trace_id": trace_id,
+                "op": op,
+                "client_span": {
+                    "name": f"client.{op}",
+                    "start_ns": 0,
+                    "dur_ns": time.perf_counter_ns() - started_ns,
+                },
+                "server": (
+                    telemetry.get("trace")
+                    if isinstance(telemetry, dict)
+                    else None
+                ),
+            }
+        return response
+
+    def _call_with_retries(
+        self, op: str, request: Dict[str, object]
+    ) -> Dict[str, object]:
         policy = self.retry_policy
         if policy is None:
             return self._call_once(request)

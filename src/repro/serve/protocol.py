@@ -20,6 +20,16 @@ through the offline pipeline, warm or cold cache. Wall-clock, cache-hit
 counts, and coalescing flags live in ``telemetry``, which no determinism
 contract covers.
 
+Request tracing: a heavy request may carry a ``trace_id`` (any string,
+:data:`TRACE_FIELD`). The daemon echoes it in ``telemetry["trace"]``
+together with a server-generated ``span_id`` and the wall-clock spans its
+pipeline closed while answering, so one request is followable
+client → daemon → search → simulator in a single exported trace
+(``repro obs``/:func:`repro.obs.prof.build_request_trace`). The field is
+deliberately excluded from request canonicalization — two requests that
+differ only in ``trace_id`` still coalesce, and a coalesced follower
+receives the leader's trace.
+
 Two derived keys organize the server's state:
 
 * :func:`request_key` — sha256 over the canonicalized request; identical
@@ -61,6 +71,10 @@ OPS = (
 #: operations that run on the worker pool (and are subject to admission
 #: control and coalescing); the rest are answered on the event loop
 HEAVY_OPS = ("compile", "profile", "synthesize", "simulate")
+
+#: optional request field naming a client-chosen trace id; echoed (with
+#: the server's span slice) in ``telemetry["trace"]``, never in ``result``
+TRACE_FIELD = "trace_id"
 
 # -- error codes ---------------------------------------------------------------
 

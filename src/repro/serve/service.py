@@ -28,8 +28,10 @@ scratch.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time as _time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -39,6 +41,7 @@ from ..core import (
     profile_program,
     synthesize_layout,
 )
+from ..obs import prof
 from ..schedule.anneal import AnnealConfig, SearchCancelled
 from ..schedule.layout import Layout
 from ..search.cache import SimCache
@@ -48,6 +51,37 @@ from .protocol import (
     ProtocolError,
     context_key,
 )
+
+_P_SERVE = {
+    op: prof.intern_phase(f"serve.{op}")
+    for op in ("compile", "profile", "synthesize", "simulate")
+}
+
+
+@contextmanager
+def _request_trace(params: Dict[str, object], op: str):
+    """Profiler scope of one served request.
+
+    Wraps the request body in a ``serve.<op>`` phase and captures the
+    span slice the worker thread closes inside it (``reset=True`` so a
+    pooled thread's buffer never leaks across requests). Yields a dict
+    that, when the client sent a ``trace_id``, is filled *after* the body
+    with the trace echo — ``trace_id``, a fresh ``span_id``, and the
+    captured spans — for the caller to attach to telemetry. Results are
+    untouched: the echo rides in telemetry only, which is explicitly
+    outside the determinism contract.
+    """
+    trace_id = params.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError("'trace_id' must be a string")
+    trace: Dict[str, object] = {}
+    with prof.collect_spans(reset=True) as spans:
+        with prof.phase(_P_SERVE[op]):
+            yield trace
+    if trace_id is not None:
+        trace["trace_id"] = trace_id
+        trace["span_id"] = os.urandom(8).hex()
+        trace["spans"] = spans
 
 
 def _check_cancel(cancel, where: str) -> None:
@@ -310,14 +344,20 @@ def execute_compile(
     spec = ProgramSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
-    _check_cancel(cancel, "compile")
-    compiled = memo.compiled(spec)
+    with _request_trace(params, "compile") as trace:
+        _check_cancel(cancel, "compile")
+        compiled = memo.compiled(spec)
     result = {
         "tasks": compiled.task_names(),
         "classes": sorted(compiled.info.classes),
         "context": spec.context(),
     }
-    return result, {"wall_seconds": _time.perf_counter() - started}
+    telemetry: Dict[str, object] = {
+        "wall_seconds": _time.perf_counter() - started
+    }
+    if trace:
+        telemetry["trace"] = trace
+    return result, telemetry
 
 
 def execute_profile(
@@ -328,8 +368,9 @@ def execute_profile(
     spec = ProgramSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
-    _check_cancel(cancel, "profile")
-    profile = memo.profile(spec)
+    with _request_trace(params, "profile") as trace:
+        _check_cancel(cancel, "profile")
+        profile = memo.profile(spec)
     result = {
         "context": spec.context(),
         "run_cycles": profile.run_cycles,
@@ -338,7 +379,12 @@ def execute_profile(
             for task, stats in sorted(profile.tasks.items())
         },
     }
-    return result, {"wall_seconds": _time.perf_counter() - started}
+    telemetry: Dict[str, object] = {
+        "wall_seconds": _time.perf_counter() - started
+    }
+    if trace:
+        telemetry["trace"] = trace
+    return result, telemetry
 
 
 def execute_synthesize(
@@ -362,23 +408,24 @@ def execute_synthesize(
     spec = SynthesizeSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
-    _check_cancel(cancel, "compile")
-    compiled = memo.compiled(spec.program)
-    _check_cancel(cancel, "profile")
-    profile = memo.profile(spec.program)
-    report = synthesize_layout(
-        compiled,
-        profile,
-        spec.cores,
-        options=SynthesisOptions(
-            anneal=spec.anneal_config(),
-            hints=dict(spec.hints) if spec.hints else None,
-            mesh_width=spec.mesh_width,
-            workers=workers,
-            cache=cache,
-            cancel_check=cancel.is_set if cancel is not None else None,
-        ),
-    )
+    with _request_trace(params, "synthesize") as trace:
+        _check_cancel(cancel, "compile")
+        compiled = memo.compiled(spec.program)
+        _check_cancel(cancel, "profile")
+        profile = memo.profile(spec.program)
+        report = synthesize_layout(
+            compiled,
+            profile,
+            spec.cores,
+            options=SynthesisOptions(
+                anneal=spec.anneal_config(),
+                hints=dict(spec.hints) if spec.hints else None,
+                mesh_width=spec.mesh_width,
+                workers=workers,
+                cache=cache,
+                cancel_check=cancel.is_set if cancel is not None else None,
+            ),
+        )
     layout = report.layout
     result = {
         "format": SYNTHESIS_FORMAT,
@@ -401,6 +448,8 @@ def execute_synthesize(
         "cache_hits": report.cache_hits,
         "pruned_evaluations": report.pruned_evaluations,
     }
+    if trace:
+        telemetry["trace"] = trace
     return result, telemetry
 
 
@@ -415,24 +464,25 @@ def execute_simulate(
     spec = SimulateSpec.parse(params)
     memo = memo or ProgramMemo()
     started = _time.perf_counter()
-    _check_cancel(cancel, "compile")
-    compiled = memo.compiled(spec.program)
-    _check_cancel(cancel, "profile")
-    profile = memo.profile(spec.program)
-    layout = Layout.make(
-        spec.cores,
-        {task: list(cores) for task, cores in spec.mapping},
-        mesh_width=spec.mesh_width,
-    )
-    layout.validate(compiled.info)
-    evaluator = SerialEvaluator(
-        compiled,
-        profile,
-        hints=dict(spec.hints) if spec.hints else None,
-        cache=cache,
-    )
-    _check_cancel(cancel, "simulate")
-    outcome = evaluator.evaluate([layout])
+    with _request_trace(params, "simulate") as trace:
+        _check_cancel(cancel, "compile")
+        compiled = memo.compiled(spec.program)
+        _check_cancel(cancel, "profile")
+        profile = memo.profile(spec.program)
+        layout = Layout.make(
+            spec.cores,
+            {task: list(cores) for task, cores in spec.mapping},
+            mesh_width=spec.mesh_width,
+        )
+        layout.validate(compiled.info)
+        evaluator = SerialEvaluator(
+            compiled,
+            profile,
+            hints=dict(spec.hints) if spec.hints else None,
+            cache=cache,
+        )
+        _check_cancel(cancel, "simulate")
+        outcome = evaluator.evaluate([layout])
     scored = outcome.scored[0]
     result = {
         "request": spec.canonical(),
@@ -446,4 +496,6 @@ def execute_simulate(
         "cache_hits": outcome.cache_hits,
         "evaluations": outcome.simulations,
     }
+    if trace:
+        telemetry["trace"] = trace
     return result, telemetry

@@ -31,6 +31,8 @@ class ServerThread:
         self.server: Optional[SynthesisServer] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        #: bound observability-HTTP port (None unless the config asked)
+        self.metrics_port: Optional[int] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -52,6 +54,7 @@ class ServerThread:
         self._loop = asyncio.get_event_loop()
         await self.server.start()
         self.host, self.port = self.server.host, self.server.port
+        self.metrics_port = self.server.metrics_port
         self._ready.set()
         await self.server.serve_until_shutdown()
 
@@ -91,9 +94,16 @@ class ServerThread:
     # -- conveniences --------------------------------------------------------
 
     def client(
-        self, timeout: Optional[float] = 60.0, retry_policy=None
+        self,
+        timeout: Optional[float] = 60.0,
+        retry_policy=None,
+        trace: bool = False,
     ) -> ServeClient:
         assert self.host is not None and self.port is not None
         return ServeClient(
-            self.host, self.port, timeout=timeout, retry_policy=retry_policy
+            self.host,
+            self.port,
+            timeout=timeout,
+            retry_policy=retry_policy,
+            trace=trace,
         )

@@ -456,3 +456,56 @@ class TestCLI:
         assert metrics["schema"] == "repro.obs/metrics-v1"
         totals = metrics["accounting"]["totals"]
         assert sum(totals.values()) == metrics["accounting"]["makespan_x_cores"]
+
+
+class TestWallClockTrackMerge:
+    def test_profiled_run_merges_wall_track(self, keyword_compiled, tmp_path):
+        """With a span-recording profiler active, a run's Chrome trace
+        gains a wall-clock track (pid 1000, tids >= 10000) alongside the
+        simulated per-core tracks — one Perfetto-loadable document."""
+        from repro.obs import prof
+
+        path = tmp_path / "trace.json"
+        with prof.profiled(record_spans=True):
+            result = run_layout(
+                keyword_compiled,
+                quad_layout(keyword_compiled),
+                ["12"],
+                options=RunOptions(
+                    machine=MachineConfig(observe=True),
+                    trace_path=str(path),
+                ),
+            )
+        doc = json.loads(path.read_text())
+        summary = validate_chrome_trace(doc)
+        sim_tracks = [t for t in summary["tracks"] if t < 10_000]
+        wall_tracks = [t for t in summary["tracks"] if t >= 10_000]
+        assert sim_tracks == [0, 1, 2, 3]
+        assert wall_tracks  # the profiler's track made it in
+        names = {
+            e["name"]
+            for e in doc["traceEvents"]
+            if e.get("pid") == 1000 and e["ph"] == "X"
+        }
+        assert "pipeline.run" in names
+        # The simulated spans are still all there.
+        machine_spans = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("pid") != 1000 and e["ph"] == "X"
+        ]
+        assert len(machine_spans) >= sum(result.invocations.values())
+
+    def test_unprofiled_run_trace_unchanged(self, keyword_compiled, tmp_path):
+        path = tmp_path / "trace.json"
+        run_layout(
+            keyword_compiled,
+            quad_layout(keyword_compiled),
+            ["12"],
+            options=RunOptions(
+                machine=MachineConfig(observe=True),
+                trace_path=str(path),
+            ),
+        )
+        doc = json.loads(path.read_text())
+        assert all(e.get("pid") != 1000 for e in doc["traceEvents"])

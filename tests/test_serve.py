@@ -539,3 +539,124 @@ class TestRequestCli:
 
         assert main(["request", "ping"]) == 2
         assert "--port" in capsys.readouterr().err
+
+
+# -- the observability endpoints -----------------------------------------------
+
+
+class TestObservabilityEndpoints:
+    """The HTTP sidecar: /metrics, /healthz, /profilez, and request traces."""
+
+    @staticmethod
+    def _fetch(handle, path):
+        import urllib.request
+
+        url = f"http://{handle.server.metrics_host}:{handle.metrics_port}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+
+    def test_metrics_lints_and_carries_serve_series(self):
+        from repro.obs.promexp import validate_prometheus_text
+
+        with ServerThread(ServeConfig(metrics_port=0)) as handle:
+            with handle.client() as client:
+                served_synthesize(client)
+            status, text = self._fetch(handle, "/metrics")
+        assert status == 200
+        summary = validate_prometheus_text(text)
+        assert summary["families"] > 0
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_uptime_seconds" in text
+        # Profiling defaults on, so the profiler series ride along.
+        assert 'repro_profile_phase_seconds_total{kind="total",phase="serve.synthesize"}' in text
+
+    def test_healthz_reports_ok(self):
+        with ServerThread(ServeConfig(metrics_port=0)) as handle:
+            status, body = self._fetch(handle, "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["ok"] is True
+        assert doc["draining"] is False
+        assert doc["uptime_seconds"] >= 0
+
+    def test_profilez_is_a_valid_profile_snapshot(self, tmp_path):
+        from repro.obs import prof
+        from repro.obs.artifacts import validate_artifact
+
+        with ServerThread(ServeConfig(metrics_port=0)) as handle:
+            with handle.client() as client:
+                served_synthesize(client)
+            status, body = self._fetch(handle, "/profilez")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == prof.PROFILE_SCHEMA
+        path = tmp_path / "profilez.json"
+        path.write_text(body)
+        assert validate_artifact(str(path))["schema"] == prof.PROFILE_SCHEMA
+        names = {node["name"] for node in doc["phases"]}
+        assert "serve.synthesize" in names
+
+    def test_unknown_path_and_method(self):
+        import socket
+
+        with ServerThread(ServeConfig(metrics_port=0)) as handle:
+            status, body = self._fetch(handle, "/nope")
+            assert status == 404
+            assert "/metrics" in body
+            with socket.create_connection(
+                (handle.server.metrics_host, handle.metrics_port), timeout=10
+            ) as sock:
+                sock.sendall(b"POST /metrics HTTP/1.1\r\n\r\n")
+                reply = sock.recv(4096).decode("latin-1")
+        assert "405" in reply.split("\r\n")[0]
+
+    def test_profiling_off_disables_profilez(self):
+        with ServerThread(
+            ServeConfig(metrics_port=0, profile=False)
+        ) as handle:
+            status, _body = self._fetch(handle, "/profilez")
+            assert status == 404
+            # /metrics still answers, without the profiler families.
+            status, text = self._fetch(handle, "/metrics")
+        assert status == 200
+        assert "repro_profile_phase_seconds_total" not in text
+
+    def test_traced_request_merges_into_one_chrome_trace(self):
+        from repro.obs import prof
+        from repro.obs.export import validate_chrome_trace
+
+        with ServerThread(ServeConfig()) as handle:
+            with handle.client(trace=True) as client:
+                result, telemetry = served_synthesize(client)
+        assert canonical(result) == canonical(offline_result())
+        # The daemon echoed the trace context in its telemetry...
+        trace = client.last_trace
+        assert trace is not None
+        server = trace["server"]
+        assert server["trace_id"] == trace["trace_id"]
+        assert server["span_id"]
+        names = {span["name"] for span in server["spans"]}
+        assert "serve.synthesize" in names
+        assert "pipeline.synthesize" in names
+        # ... and the merged document is one valid two-track trace.
+        doc = prof.build_request_trace(
+            trace["trace_id"], trace["client_span"], server["spans"]
+        )
+        summary = validate_chrome_trace(doc)
+        assert summary["tracks"] == [0, 1]
+        assert doc["otherData"]["trace_id"] == trace["trace_id"]
+        assert summary["spans"] == len(server["spans"]) + 1
+
+    def test_trace_id_does_not_split_the_cache(self):
+        with ServerThread(ServeConfig()) as handle:
+            with handle.client(trace=True) as client:
+                _result, first = served_synthesize(client)
+                _result, second = served_synthesize(client)
+        assert first["evaluations"] > 0
+        # Same request, different trace_id: still a pure cache hit.
+        assert second["evaluations"] == 0
+        assert second["cache_hits"] > 0
+        assert second["trace"]["trace_id"] != first["trace"]["trace_id"]

@@ -614,3 +614,99 @@ class TestNetChaosSweep:
         assert payload["format"] == "repro.serve/net-chaos-report-v1"
         assert payload["ok"] is True
         json.dumps(payload)  # artifact must be JSON-serializable
+
+
+# -- observability under chaos -------------------------------------------------
+
+
+class TestObservabilityUnderChaos:
+    """The chaos paths must leave the exports healthy: after a deadline
+    kill or mid-drain, /metrics still renders valid Prometheus text and
+    the daemon's profiler stacks are balanced (every span closed)."""
+
+    @staticmethod
+    def _fetch(handle, path):
+        import urllib.request
+
+        url = f"http://{handle.server.metrics_host}:{handle.metrics_port}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+
+    @staticmethod
+    def _stacks_balanced(profiler):
+        return all(
+            len(state.stack_node) == 1
+            for state in profiler._states.values()
+        )
+
+    def test_deadline_exceeded_leaves_exports_healthy(self):
+        from repro.obs.promexp import validate_prometheus_text
+
+        config = ServeConfig(request_deadline=0.1, metrics_port=0)
+        with ServerThread(config) as handle:
+            with handle.client() as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.call("synthesize", **SLOW_REQUEST)
+                assert excinfo.value.code == "deadline_exceeded"
+                # Wait for the cancelled worker to come home so its
+                # span unwinding has finished before we assert on it.
+                for _ in range(400):
+                    if client.metrics()["admitted"] == 0:
+                        break
+                    time.sleep(0.01)
+            status, text = self._fetch(handle, "/metrics")
+            assert status == 200
+            summary = validate_prometheus_text(text)
+            assert summary["families"] > 0
+            assert "repro_serve_deadline_exceeded_total 1" in text
+            # The killed request did not leak an open phase.
+            assert self._stacks_balanced(handle.server.profiler)
+            status, body = self._fetch(handle, "/profilez")
+            assert status == 200
+            names = {n["name"] for n in json.loads(body)["phases"]}
+            assert "serve.synthesize" in names
+
+    def test_draining_daemon_still_answers_metrics(self):
+        from repro.obs.promexp import validate_prometheus_text
+
+        config = ServeConfig(drain_timeout=0.3, metrics_port=0)
+        with ServerThread(config) as handle:
+            box = {}
+
+            def body():
+                try:
+                    with handle.client(timeout=60.0) as slow:
+                        box["response"] = slow.call(
+                            "synthesize", **SLOW_REQUEST
+                        )
+                except (ServeError, ServeUnavailable, OSError) as exc:
+                    box["error"] = exc
+
+            thread = threading.Thread(target=body, daemon=True)
+            thread.start()
+            with handle.client() as control:
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if control.metrics()["admitted"] >= 1:
+                        break
+                    time.sleep(0.01)
+                control.call("shutdown")
+                # Mid-drain: health honestly reports unready (503) while
+                # the scrape endpoint keeps answering valid text —
+                # observability must not die before the daemon does.
+                status, body_text = self._fetch(handle, "/healthz")
+                assert status == 503
+                health = json.loads(body_text)
+                assert health["ok"] is False
+                assert health["draining"] is True
+                status, text = self._fetch(handle, "/metrics")
+                assert status == 200
+                validate_prometheus_text(text)
+                assert "repro_serve_draining 1" in text
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            # The cancelled slow call unwound its spans too.
+            assert self._stacks_balanced(handle.server.profiler)
