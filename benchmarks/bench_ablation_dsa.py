@@ -14,7 +14,7 @@ from repro.schedule.anneal import AnnealConfig, DirectedSimulatedAnnealing
 from repro.schedule.coregroup import build_group_graph
 from repro.schedule.mapping import seed_layouts
 from repro.schedule.rules import suggest_replicas
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.viz import render_table
 
 NUM_CORES = 16
@@ -51,7 +51,7 @@ def locality_only_estimate(ctx, name):
     )
     layouts = seed_layouts(compiled.info, graph, suggestions, NUM_CORES)
     return min(
-        estimate_layout(compiled, layout, profile,
+        simulate(compiled, layout, profile,
                         hints=get_spec(name).hints).total_cycles
         for layout in layouts
     )

@@ -11,21 +11,20 @@ boundaries and mis-estimates the execution."""
 from conftest import emit
 from repro.bench import get_spec
 from repro.core import single_core_layout
-from repro.schedule.simulator import SchedulingSimulator
+from repro.schedule.simulator import simulate
 from repro.viz import render_table
 
 BENCHES = ["KMeans", "Keyword", "MonteCarlo"]
 
 
 def estimate(ctx, name, layout, policy):
-    sim = SchedulingSimulator(
+    return simulate(
         ctx.compiled(name),
         layout,
         ctx.profile(name),
         hints=get_spec(name).hints,
         exit_policy=policy,
     )
-    return sim.run()
 
 
 def run_all(ctx):

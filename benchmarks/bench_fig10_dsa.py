@@ -18,7 +18,7 @@ from repro.core import annotated_cstg
 from repro.schedule.anneal import AnnealConfig, DirectedSimulatedAnnealing
 from repro.schedule.coregroup import build_group_graph
 from repro.schedule.mapping import enumerate_layouts
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.search import SimCache
 from repro.viz import render_histogram
 
@@ -49,7 +49,7 @@ def run_benchmark(ctx, name):
 
     graph, layouts = candidate_space(compiled, profile)
     all_estimates = [
-        estimate_layout(compiled, layout, profile, hints=hints).total_cycles
+        simulate(compiled, layout, profile, hints=hints).total_cycles
         for layout in layouts
     ]
     best = min(all_estimates)

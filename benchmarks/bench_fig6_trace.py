@@ -6,7 +6,7 @@ from repro.bench import load_benchmark
 from repro.core import profile_program
 from repro.schedule.critpath import compute_critical_path
 from repro.schedule.layout import Layout
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.viz import render_critical_path, render_trace, trace_to_dot
 
 
@@ -22,7 +22,7 @@ def build_fig6():
     compiled = load_benchmark("Keyword")
     profile = profile_program(compiled, ["4"])
     layout = figure4_layout(compiled)
-    result = estimate_layout(compiled, layout, profile)
+    result = simulate(compiled, layout, profile)
     path = compute_critical_path(result)
     return result, path
 

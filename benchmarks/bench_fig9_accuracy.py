@@ -9,7 +9,7 @@ underestimates because tasks slow down under real communication load)."""
 from conftest import emit
 from repro.bench import PAPER_BENCHMARKS, get_spec
 from repro.core import single_core_layout
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.viz import render_table
 
 
@@ -21,11 +21,11 @@ def run_all(ctx):
         hints = get_spec(name).hints
 
         one_layout = single_core_layout(compiled)
-        one_est = estimate_layout(compiled, one_layout, profile, hints=hints)
+        one_est = simulate(compiled, one_layout, profile, hints=hints)
         one_real = ctx.one_core_run(name)
 
         many_report = ctx.synthesis_report(name)
-        many_est = estimate_layout(
+        many_est = simulate(
             compiled, many_report.layout, profile, hints=hints
         )
         many_real = ctx.many_core_run(name)

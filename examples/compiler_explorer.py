@@ -22,7 +22,7 @@ from repro.core import (
 from repro.schedule.coregroup import build_group_graph
 from repro.schedule.critpath import compute_critical_path
 from repro.schedule.rules import suggest_replicas
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.viz import render_critical_path
 
 NUM_CORES = 8
@@ -101,7 +101,7 @@ def main() -> None:
           f"{report.wall_seconds:.2f}s)")
 
     header("critical path of the simulated schedule (Figure 6 style, §4.5.1)")
-    result = estimate_layout(compiled, report.layout, profile, hints=spec.hints)
+    result = simulate(compiled, report.layout, profile, hints=spec.hints)
     path = compute_critical_path(result)
     text = render_critical_path(path)
     lines = text.splitlines()

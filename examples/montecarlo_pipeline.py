@@ -14,7 +14,7 @@ Run:  python examples/montecarlo_pipeline.py
 
 from repro.bench import get_spec, load_benchmark
 from repro.core import profile_program, run_layout, synthesize_layout
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 
 NUM_CORES = 16
 
@@ -59,7 +59,7 @@ def main() -> None:
         print("-> heterogeneous: aggregation has a dedicated core, so it can")
         print("   pipeline with simulation (the paper's §5.4 observation)")
 
-    result = estimate_layout(compiled, layout, profile)
+    result = simulate(compiled, layout, profile)
     fraction = overlap_fraction(result.trace)
     print(f"\nsimulated trace: {len(result.trace)} invocations, "
           f"{result.total_cycles:,} cycles")

@@ -41,11 +41,15 @@ from .core import (
     single_core_layout,
     synthesize_layout,
 )
+from .schedule import DeltaMove, SimResult, SimSession, simulate
 
 __all__ = [
     "CompiledProgram",
+    "DeltaMove",
     "RunOptions",
     "SequentialResult",
+    "SimResult",
+    "SimSession",
     "SynthesisOptions",
     "SynthesisReport",
     "annotated_cstg",
@@ -53,6 +57,7 @@ __all__ = [
     "profile_program",
     "run_layout",
     "run_sequential",
+    "simulate",
     "single_core_layout",
     "synthesize_layout",
 ]

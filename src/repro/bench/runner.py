@@ -28,7 +28,7 @@ from ..core.pipeline import SynthesisReport, synthesize_layout
 from ..runtime.profiler import ProfileData
 from ..schedule.anneal import AnnealConfig
 from ..schedule.layout import Layout
-from ..schedule.simulator import estimate_layout
+from ..schedule.simulator import simulate
 from .suite import get_spec, load_benchmark
 
 #: The paper's machine: a 64-core TILEPro64 with 2 cores reserved for the
@@ -147,7 +147,7 @@ def estimate_vs_real(
     compiled = load_benchmark(name)
     workload = list(args if args is not None else spec.args)
     profile = profile_program(compiled, workload)
-    estimate = estimate_layout(compiled, layout, profile, hints=spec.hints)
+    estimate = simulate(compiled, layout, profile, hints=spec.hints)
     real = run_layout(compiled, layout, workload)
     return AccuracyRow(
         name=name,

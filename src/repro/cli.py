@@ -204,6 +204,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     seed=args.seed,
                     workers=args.workers,
                     sim_cache=not args.no_sim_cache,
+                    delta_sim=not args.no_delta_sim,
                     worker_timeout_mult=args.worker_timeout_mult,
                     checkpoint_path=args.checkpoint,
                     resume=args.resume,
@@ -527,7 +528,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             compiled,
             profile,
             args.cores,
-            options=SynthesisOptions(anneal=anneal, workers=args.workers),
+            options=SynthesisOptions(
+                anneal=anneal,
+                workers=args.workers,
+                delta_sim=not args.no_delta_sim,
+            ),
         )
 
     started = time.perf_counter_ns()
@@ -635,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--no-sim-cache", action="store_true",
         help="disable simulation memoization in the layout search",
+    )
+    p_run.add_argument(
+        "--no-delta-sim", action="store_true",
+        help="disable incremental delta re-simulation in the layout "
+             "search (results are bit-identical either way; full "
+             "simulations only cost more wall clock)",
     )
     p_run.add_argument(
         "--search-metrics-out", metavar="FILE", default=None,
@@ -745,6 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--evaluations", type=int, default=600, metavar="N",
         help="anneal simulation budget",
+    )
+    p_profile.add_argument(
+        "--no-delta-sim", action="store_true",
+        help="disable incremental delta re-simulation (for before/after "
+             "profiling; results are bit-identical either way)",
     )
     p_profile.add_argument(
         "-O", "--optimize", action="store_true",

@@ -27,7 +27,7 @@ from ..runtime.machine import MachineConfig, MachineResult
 from ..runtime.profiler import ProfileData
 from ..schedule.anneal import AnnealConfig
 from ..schedule.layout import Layout
-from ..schedule.simulator import estimate_layout
+from ..schedule.simulator import simulate
 from .api import CompiledProgram, run_layout, single_core_layout
 from .options import RunOptions, SynthesisOptions
 from .pipeline import synthesize_layout
@@ -192,7 +192,7 @@ class AdaptiveExecutable:
                 workers=self.workers,
             ),
         )
-        old_estimate = estimate_layout(
+        old_estimate = simulate(
             self.compiled, self.layout, profile, hints=self.hints
         ).total_cycles
         new_estimate = report.estimated_cycles

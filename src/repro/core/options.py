@@ -42,11 +42,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _UNSET = object()
 
 
+#: release in which the deprecated keyword shims (and the legacy
+#: simulator entry points) are scheduled for removal
+SHIM_REMOVAL_VERSION = "0.9"
+
+
 def warn_deprecated_kwargs(function: str, options_type: str, names) -> None:
     """One uniform DeprecationWarning for every legacy keyword shim."""
     warnings.warn(
         f"passing {', '.join(sorted(names))} to {function}() directly is "
-        f"deprecated; build a {options_type} instead "
+        f"deprecated and will be removed in version {SHIM_REMOVAL_VERSION}; "
+        f"build a {options_type} instead "
         f"(from repro import {options_type})",
         DeprecationWarning,
         stacklevel=3,
@@ -71,6 +77,12 @@ class SynthesisOptions:
     #: candidate simulations fan out across this many worker processes;
     #: results are bit-identical to ``workers=1``
     workers: int = 1
+    #: incremental delta re-simulation: candidates one migration away
+    #: from an already-simulated parent resume from the parent's event
+    #: timeline instead of re-simulating from scratch. Results are
+    #: bit-identical either way (test-enforced per benchmark) — this is
+    #: purely a wall-clock knob
+    delta_sim: bool = True
     #: memoize simulation results by layout fingerprint
     sim_cache: bool = True
     #: LRU bound for the per-run cache (None = unbounded)

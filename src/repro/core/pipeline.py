@@ -157,6 +157,7 @@ def _synthesize(
         checkpoint_path=options.checkpoint_path,
         resume=options.resume,
         cancel_check=options.cancel_check,
+        delta=options.delta_sim,
     ) as dsa:
         with prof.phase(_P_ANNEAL):
             result: AnnealResult = dsa.run()

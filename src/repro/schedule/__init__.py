@@ -18,11 +18,15 @@ from .mapping import (
 from .preprocess import GroupTree, build_group_tree, duplication_factors
 from .rules import ReplicaSuggestion, replica_choice_sets, suggest_replicas
 from .simulator import (
+    DeltaMove,
     ExitChooser,
     SchedulingSimulator,
+    SessionStore,
     SimResult,
+    SimSession,
     TraceEvent,
     estimate_layout,
+    simulate,
 )
 
 __all__ = [
@@ -31,6 +35,7 @@ __all__ = [
     "Candidate",
     "CoreGroup",
     "CriticalPath",
+    "DeltaMove",
     "ExitChooser",
     "GroupGraph",
     "GroupTree",
@@ -39,7 +44,9 @@ __all__ = [
     "ReplicaSuggestion",
     "Router",
     "SchedulingSimulator",
+    "SessionStore",
     "SimResult",
+    "SimSession",
     "TraceEvent",
     "build_group_graph",
     "build_group_tree",
@@ -55,6 +62,7 @@ __all__ = [
     "mesh_hops",
     "random_layouts",
     "replica_choice_sets",
+    "simulate",
     "suggest_moves",
     "suggest_replicas",
     "with_instance_added",

@@ -231,6 +231,9 @@ class Router:
         self.info = info
         self.layout = layout
         self._match_cache: Dict[Tuple[str, AState], List[Tuple[str, int]]] = {}
+        #: task -> cores, so per-object routing skips the linear scan in
+        #: Layout.cores_of
+        self._cores: Dict[str, Tuple[int, ...]] = dict(layout.instances)
 
     def consumers(self, class_name: str, state: AState) -> List[Tuple[str, int]]:
         """Returns (task, param_index) pairs whose guards the state satisfies."""
@@ -264,7 +267,7 @@ class Router:
         Tag-constrained tasks hash the tag instance so related objects meet;
         otherwise destinations rotate round-robin per sending core (§4.3.4).
         """
-        cores = self.layout.cores_of(task)
+        cores = self._cores.get(task, ())
         if len(cores) == 1:
             return cores[0]
         if tag_hash is not None:

@@ -16,12 +16,30 @@ emit the right totals.
 
 The simulated execution also produces the trace that the critical path
 analysis (§4.5.1) consumes.
+
+Entry points
+------------
+
+* :func:`simulate` — simulate one layout once (the facade).
+* :class:`SimSession` — a reusable session that shares per-program lookup
+  tables across simulations and supports **delta re-simulation**: a DSA
+  candidate differs from its parent by a single instance migration, so the
+  session snapshots the parent's event-timeline prefix (keyed by
+  ``layout_fingerprint``), tracks when each task's placement is first
+  consulted, and resumes the child from the latest snapshot taken before
+  the moved task's placement mattered. Replay is exact — a delta resume
+  is **bit-identical** to a full simulation (test-enforced) — and the
+  session falls back to a full run whenever no usable snapshot exists.
+* :class:`SchedulingSimulator` / :func:`estimate_layout` — the legacy
+  run-once entry points, kept as :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
+import threading
+import warnings
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from time import perf_counter_ns as _perf_counter_ns
 from typing import Deque, Dict, List, Optional, Tuple
@@ -67,12 +85,34 @@ from ..schedule.layout import (
     mesh_hops,
     scale_duration,
 )
+from ..schedule.mapping import layout_fingerprint
 from ..sema import builtins
 
 
 #: Nominal duration charged to simulated invocations of tasks the profile
-#: never observed (see SchedulingSimulator._dispatch).
+#: never observed (see _SimEngine._dispatch).
 UNPROFILED_TASK_CYCLES = 200
+
+#: Heap event kinds (ints compare faster than strings and pickle smaller).
+_EV_ARRIVE = 0
+_EV_KICK = 1
+
+_INIT = costs.RUNTIME_INIT_COST
+_ENQUEUE = costs.ENQUEUE_COST
+_MSG_SEND = costs.MSG_SEND_COST
+_HOP = costs.HOP_COST
+_MSG_WORD = costs.MSG_WORD_COST
+
+#: Delta-session snapshot cadence (events between prefix snapshots) and
+#: the bound on snapshots kept per parent (the list is thinned and the
+#: interval doubled when it fills).
+SNAPSHOT_INTERVAL = 1024
+_SNAPSHOT_MAX = 32
+#: A resume must skip at least this many events to be worth the copy.
+MIN_RESUME_EVENTS = 512
+
+#: ``first_touch`` value for tasks whose placement was never consulted.
+_FT_INF = 1 << 30
 
 
 @dataclass
@@ -84,12 +124,21 @@ class SimObject:
     state: AState
     tag_key: Optional[int] = None
 
+    def __reduce__(self):
+        # Positional pickling: smaller and faster than the __dict__ path,
+        # which matters when session snapshots land in checkpoints.
+        return (SimObject, (self.obj_id, self.class_name, self.state,
+                            self.tag_key))
+
 
 @dataclass
 class QueueEntry:
     obj: SimObject
     arrived_at: int
     producer_event: Optional[int]  # trace event id that produced the object
+
+    def __reduce__(self):
+        return (QueueEntry, (self.obj, self.arrived_at, self.producer_event))
 
 
 @dataclass
@@ -111,6 +160,13 @@ class TraceEvent:
     @property
     def duration(self) -> int:
         return self.end - self.start
+
+    def __reduce__(self):
+        # SimResult traces dominate the pool's IPC payloads; positional
+        # pickling cuts the per-event cost vs. the default __dict__ form.
+        return (TraceEvent, (self.event_id, self.task, self.core, self.start,
+                             self.end, self.exit_id, self.data_ready,
+                             self.param_objects, self.inputs, self.produced))
 
 
 @dataclass
@@ -136,6 +192,22 @@ class SimResult:
         )
 
 
+@dataclass(frozen=True)
+class DeltaMove:
+    """How a candidate layout differs from an already-simulated parent.
+
+    ``parent`` is the parent layout's fingerprint
+    (:func:`repro.schedule.mapping.layout_fingerprint`, same core speeds);
+    ``task`` is the one task whose instance set changed. A
+    :class:`SimSession` uses this purely as a *hint*: a stale or wrong
+    hint can only cost a fallback to full simulation, never change a
+    result.
+    """
+
+    parent: str
+    task: str
+
+
 class ExitChooser:
     """Count-matching exit selection (deterministic low-discrepancy draw).
 
@@ -157,9 +229,19 @@ class ExitChooser:
         self.policy = policy
         self._taken: Dict[Tuple, int] = {}
         self._total: Dict[Tuple, int] = {}
+        #: per-task lookups the hot path would otherwise recompute per call
+        self._exit_ids: Dict[str, List[int]] = {}
+        self._sequences: Dict[str, List[int]] = {}
+
+    def _exits(self, task: str) -> List[int]:
+        exits = self._exit_ids.get(task)
+        if exits is None:
+            exits = self.profile.exit_ids(task)
+            self._exit_ids[task] = exits
+        return exits
 
     def choose(self, task: str, obj_key: Optional[int]) -> int:
-        exits = self.profile.exit_ids(task)
+        exits = self._exits(task)
         if not exits:
             return 0
         if len(exits) == 1:
@@ -177,7 +259,10 @@ class ExitChooser:
             # recorded statistics at every prefix — the optimum of the
             # paper's count-matching criterion (it also reproduces periodic
             # behaviour like "every 62nd invocation ends a round").
-            sequence = self.profile.exit_sequence(task)
+            sequence = self._sequences.get(task)
+            if sequence is None:
+                sequence = self.profile.exit_sequence(task)
+                self._sequences[task] = sequence
             if n < len(sequence):
                 chosen = sequence[n]
                 self._total[scope] = n + 1
@@ -211,8 +296,247 @@ class ExitChooser:
         return best_exit
 
 
-class SchedulingSimulator:
-    """Simulates one layout under a profile's Markov model."""
+# -- shared program tables -----------------------------------------------------
+
+
+class _TaskRec:
+    """Per-task lookups resolved once and shared across simulations."""
+
+    __slots__ = ("params", "nparams", "guards", "func", "has_exits",
+                 "fallback_exit")
+
+    def __init__(self, compiled: "CompiledProgram", profile: ProfileData,
+                 task: str):
+        self.params = tuple(compiled.info.task_info(task).decl.params)
+        self.nparams = len(self.params)
+        #: per-parameter memo of guard_matches(param, state) by state
+        self.guards = tuple({} for _ in self.params)
+        self.func = compiled.ir_program.tasks[task]
+        self.has_exits = bool(profile.exit_ids(task))
+        # The profiled run never invoked this task (e.g. it lost every
+        # race for its objects). Fall back to the static exit table — the
+        # lowest explicit exit — so the simulated object still transitions.
+        self.fallback_exit = min(
+            (e for e in self.func.exits if e != 0), default=0
+        )
+
+
+class _ExitPlan:
+    """Memoized per-(task, exit) dispatch consequences."""
+
+    __slots__ = ("spec", "steps")
+
+    def __init__(self, spec, nparams: int):
+        self.spec = spec
+        #: per parameter: {state -> (new_state, tag_mode)} where tag_mode
+        #: 0 leaves tag_key alone, 1 sets it to the invocation's event id,
+        #: 2 clears it (the last tag removal zeroed the count)
+        self.steps = tuple({} for _ in range(nparams))
+
+
+def _transition(spec, param_index: int, state: AState) -> Tuple[AState, int]:
+    """Replays one exit's flag/tag actions for one parameter; memoized by
+    :class:`_ExitPlan` since the outcome depends only on the input state."""
+    updates = spec.flag_updates.get(param_index)
+    if updates:
+        state = state.with_flags(updates)
+    mode = 0
+    for action in spec.tag_updates.get(param_index, ()):
+        if action.op == "add":
+            state = state.with_tag_delta(action.tag_type, 1)
+            # Tag this object with the invocation's key so it pairs (via
+            # tag hashing) with objects the same invocation allocated.
+            mode = 1
+        else:
+            state = state.with_tag_delta(action.tag_type, -1)
+            if state.tag_count(action.tag_type) == 0:
+                mode = 2
+    return state, mode
+
+
+class _ProgramTables:
+    """Layout-independent lookup tables shared by every simulation of one
+    (program, profile, core-speeds) context — the memo a
+    :class:`SimSession` keeps warm across candidates.
+
+    Everything memoized here is a pure function of the program and
+    profile, so sharing the tables cannot change results; it only removes
+    repeated lookups from the event loop's hot path.
+    """
+
+    __slots__ = ("compiled", "info", "profile", "core_speeds", "_recs",
+                 "_class_size", "_durations", "_alloc_plans", "_exit_plans")
+
+    def __init__(self, compiled: "CompiledProgram", profile: ProfileData,
+                 core_speeds: Optional[Dict[int, float]] = None):
+        self.compiled = compiled
+        self.info = compiled.info
+        self.profile = profile
+        self.core_speeds = core_speeds
+        self._recs: Dict[str, _TaskRec] = {}
+        self._class_size: Dict[str, int] = {}
+        #: (task, exit_id, core) -> scaled duration; exit -1 = unprofiled
+        self._durations: Dict[Tuple[str, int, int], int] = {}
+        self._alloc_plans: Dict[Tuple[str, int], tuple] = {}
+        self._exit_plans: Dict[Tuple[str, int], Optional[_ExitPlan]] = {}
+
+    def rec(self, task: str) -> _TaskRec:
+        rec = self._recs.get(task)
+        if rec is None:
+            rec = _TaskRec(self.compiled, self.profile, task)
+            self._recs[task] = rec
+        return rec
+
+    def class_size(self, class_name: str) -> int:
+        size = self._class_size.get(class_name)
+        if size is None:
+            size = len(self.info.class_info(class_name).fields)
+            self._class_size[class_name] = size
+        return size
+
+    def duration(self, task: str, exit_id: int, core: int,
+                 profiled: bool) -> int:
+        key = (task, exit_id, core)
+        cycles = self._durations.get(key)
+        if cycles is None:
+            if profiled:
+                base = max(1, int(round(self.profile.avg_cycles(task, exit_id))))
+            else:
+                base = UNPROFILED_TASK_CYCLES
+            cycles = scale_duration(base, core_speed(self.core_speeds, core))
+            self._durations[key] = cycles
+        return cycles
+
+    def exit_plan(self, task: str, exit_id: int,
+                  rec: _TaskRec) -> Optional[_ExitPlan]:
+        key = (task, exit_id)
+        try:
+            return self._exit_plans[key]
+        except KeyError:
+            spec = rec.func.exits.get(exit_id)
+            plan = None if spec is None else _ExitPlan(spec, rec.nparams)
+            self._exit_plans[key] = plan
+            return plan
+
+    def alloc_plan(self, task: str, exit_id: int) -> tuple:
+        key = (task, exit_id)
+        plan = self._alloc_plans.get(key)
+        if plan is None:
+            entries = []
+            for site_id, avg in sorted(
+                self.profile.avg_allocs(task, exit_id).items()
+            ):
+                site = self.compiled.ir_program.alloc_sites.get(site_id)
+                if site is None:
+                    continue
+                flags = [f for f, v in site.flag_inits.items() if v]
+                tags = {t: 1 for t in site.tag_types}
+                state = AState.make(flags, tags)
+                entries.append(
+                    ((task, exit_id, site_id), avg, site.class_name, state,
+                     bool(site.tag_types))
+                )
+            plan = tuple(entries)
+            self._alloc_plans[key] = plan
+        return plan
+
+
+# -- delta-session records -----------------------------------------------------
+
+
+@dataclass
+class _Snapshot:
+    """One copy of the engine's live state at an event-count boundary."""
+
+    epoch: int  # monotonically increasing id within the parent's run
+    processed: int  # events processed when the copy was taken
+    last_time: int  # sim clock of the last processed event
+    #: the deep-copied timeline state, or None for a *phantom* snapshot —
+    #: a placeholder proving a resume point exists; the state is captured
+    #: lazily by re-running the parent when a delta hint first wants it
+    state: Optional[Dict[str, object]]
+
+
+@dataclass
+class _ParentRecord:
+    """Everything needed to resume a child one migration away."""
+
+    fingerprint: str
+    layout: Layout
+    #: task -> epoch count at its first placement consultation; missing
+    #: means the placement was never consulted (any snapshot is usable)
+    first_touch: Dict[str, int]
+    snapshots: Tuple[_Snapshot, ...]
+
+
+class SessionStore:
+    """A thread-safe LRU of :class:`_ParentRecord`s.
+
+    One instance backs a :class:`SimSession`; a
+    :class:`repro.search.SimCache` owns one so session state rides along
+    with the result cache into search checkpoints (but *not* into the
+    serving layer's disk store — records are cheap to rebuild and
+    version-fragile). Records are immutable once stored, so readers copy
+    from them without holding the lock.
+    """
+
+    def __init__(self, max_parents: int = 16):
+        if max_parents <= 0:
+            raise ValueError("max_parents must be positive")
+        self.max_parents = max_parents
+        self._records: "OrderedDict[str, _ParentRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, fingerprint: str) -> Optional[_ParentRecord]:
+        with self._lock:
+            record = self._records.get(fingerprint)
+            if record is not None:
+                self._records.move_to_end(fingerprint)
+            return record
+
+    def put(self, fingerprint: str, record: _ParentRecord) -> None:
+        with self._lock:
+            self._records[fingerprint] = record
+            self._records.move_to_end(fingerprint)
+            while len(self._records) > self.max_parents:
+                self._records.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """A restorable snapshot (records in LRU order, by reference —
+        records are immutable once stored)."""
+        with self._lock:
+            return {"records": list(self._records.items())}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._records = OrderedDict(state["records"])
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class _SimEngine:
+    """One discrete-event simulation of one layout.
+
+    Heap events are flat 7-slot tuples ``(time, seq, kind, core, task,
+    param_index, entry)`` — ``(time, seq)`` is unique, so the trailing
+    payload slots never participate in heap comparisons. ``kind`` is
+    :data:`_EV_ARRIVE` or :data:`_EV_KICK`; kicks carry
+    ``(core, None, 0, None)``. ``_route``/``_try_form`` are instance
+    attributes aliasing the implementations; the profiled drain rebinds
+    them to counting wrappers for its duration, which keeps the
+    "am I being profiled?" branch out of the unobserved hot path.
+    """
 
     def __init__(
         self,
@@ -224,48 +548,63 @@ class SchedulingSimulator:
         exit_policy: str = "sequence",
         core_speeds: Optional[Dict[int, float]] = None,
         cutoff: Optional[int] = None,
+        tables: Optional[_ProgramTables] = None,
+        observe: Optional[bool] = None,
     ):
         layout.validate(compiled.info)
-        self.core_speeds = core_speeds
         self.compiled = compiled
         self.info = compiled.info
         self.layout = layout
         self.profile = profile
-        self.router = Router(compiled.info, layout)
-        self.chooser = ExitChooser(profile, hints, policy=exit_policy)
         self.max_events = max_events
-        #: stop simulating once the clock passes this cycle (the incumbent
-        #: best of a search): the layout is already known to lose
+        self.exit_policy = exit_policy
+        self.core_speeds = core_speeds
         self.cutoff = cutoff
+        self._observe = observe
+        self.tables = (
+            tables
+            if tables is not None
+            else _ProgramTables(compiled, profile, core_speeds)
+        )
+        self.router = Router(compiled.info, layout)
+        self._cores_of = self.router._cores
+        self.chooser = ExitChooser(profile, hints, exit_policy)
+        self._core_list = layout.cores_used()
 
-        self._events: List[Tuple[int, int, str, tuple]] = []
+        self._events: List[tuple] = []
         self._seq = 0
         self._next_obj_id = 0
         self._next_event_id = 0
-        self._rr_state: Dict[Tuple[int, str], int] = {}
-        self._alloc_carry: Dict[Tuple[str, int, int], float] = {}
         self.busy_until: Dict[int, int] = {
-            core: costs.RUNTIME_INIT_COST for core in layout.cores_used()
+            core: _INIT for core in self._core_list
         }
-        self.param_sets: Dict[Tuple[int, str, int], Deque[QueueEntry]] = {}
+        self.core_busy: Dict[int, int] = {core: 0 for core in self._core_list}
         self.ready: Dict[int, Deque[List[QueueEntry]]] = {}
-        for core in layout.cores_used():
+        sets: Dict[Tuple[int, str], List[Deque[QueueEntry]]] = {}
+        tables_rec = self.tables.rec
+        for core in self._core_list:
             self.ready[core] = deque()
             for task in layout.tasks_on_core(core):
-                for index in range(len(self.info.task_info(task).decl.params)):
-                    self.param_sets[(core, task, index)] = deque()
+                sets[(core, task)] = [
+                    deque() for _ in range(tables_rec(task).nparams)
+                ]
+        self._sets = sets
         self._ready_task: Dict[int, Deque[str]] = {
-            core: deque() for core in layout.cores_used()
+            core: deque() for core in self._core_list
         }
+        self._rr_state: Dict[Tuple[int, str], int] = {}
+        self._alloc_carry: Dict[Tuple[str, int, int], float] = {}
         self.trace: List[TraceEvent] = []
         self.invocations: Dict[str, int] = {}
-        self.core_busy: Dict[int, int] = {c: 0 for c in layout.cores_used()}
-        #: wall-clock bucket accounting (see _drain_profiled).
-        #: ``_counting`` is True for the whole profiled drain (the
-        #: wrapped _route/_try_form count their calls); ``_timing`` only
-        #: inside a sampled event (they also read the clock). The cells
-        #: must be attributes, not run()-locals, to be visible there.
-        self._counting = False
+
+        #: hot-path aliases; the profiled drain temporarily rebinds these
+        #: to the counting wrappers
+        self._route = self._route_impl
+        self._try_form = self._try_form_impl
+
+        #: wall-clock bucket accounting (see _drain_profiled). ``_timing``
+        #: is True only inside a sampled event, where the counting
+        #: wrappers also read the clock.
         self._timing = False
         self._mail_ns = 0
         self._form_ns = 0
@@ -274,35 +613,243 @@ class SchedulingSimulator:
         self._mail_k = 0
         self._form_k = 0
 
-    # -- helpers ---------------------------------------------------------------
+        #: delta-session recording state (off unless _enable_recording)
+        self._snapshots: Optional[List[_Snapshot]] = None
+        self._first_touch: Optional[Dict[str, int]] = None
+        self._snap_interval = 0
+        self._snap_epoch = 0
+        self._snap_capture = True
+        self._snap_next = -1  # next `processed` count to snapshot at
+        self._resumed = False
+        self._resume_processed = 0
+        self._resume_last_time = _INIT
 
-    def _push(self, time: int, kind: str, payload: tuple) -> None:
-        self._seq += 1
-        heapq.heappush(self._events, (time, self._seq, kind, payload))
+    # -- delta-session recording -----------------------------------------------
 
-    def _new_object(
-        self, class_name: str, state: AState, tag_key: Optional[int]
-    ) -> SimObject:
-        obj = SimObject(
-            obj_id=self._next_obj_id,
-            class_name=class_name,
-            state=state,
-            tag_key=tag_key,
+    def _enable_recording(self, interval: int, capture: bool = True) -> None:
+        """Turns on delta-session recording.
+
+        With ``capture=False`` the engine records only the cheap parts —
+        the first-touch epoch map and *phantom* snapshots (epoch,
+        processed-count, and clock, but no state copy). A phantom record
+        is enough to decide whether a later one-move delta could resume
+        profitably; the expensive state capture is deferred until a hint
+        actually proves it worthwhile (:meth:`SimSession._warm_parent`).
+        """
+        self._snapshots = []
+        if self._first_touch is None:
+            self._first_touch = {}
+        self._snap_capture = capture
+        self._snap_interval = interval
+        self._snap_next = self._resume_processed + interval - (
+            self._resume_processed % interval
         )
-        self._next_obj_id += 1
-        return obj
 
-    def _class_size(self, class_name: str) -> int:
-        return len(self.info.class_info(class_name).fields)
+    def _take_snapshot(self, processed: int, last_time: int) -> None:
+        snaps = self._snapshots
+        if len(self._first_touch) >= len(self.layout.instances):
+            # Every task's placement has been consulted, so no snapshot
+            # from here on could ever be resumed for a one-task move —
+            # stop paying for copies.
+            self._snap_next = -1
+            return
+        if len(snaps) >= _SNAPSHOT_MAX:
+            # Thin to every other snapshot and halve the cadence; epochs
+            # ride along inside the records, so first_touch comparisons
+            # stay valid across thinning.
+            del snaps[1::2]
+            self._snap_interval *= 2
+        snaps.append(
+            _Snapshot(
+                self._snap_epoch,
+                processed,
+                last_time,
+                self._capture_state() if self._snap_capture else None,
+            )
+        )
+        self._snap_epoch += 1
+        self._snap_next = processed + self._snap_interval
 
-    # -- main loop ----------------------------------------------------------------
+    def _capture_state(self) -> Dict[str, object]:
+        """Deep-copies the live timeline state.
+
+        One SimObject is aliased by every QueueEntry that carries it (an
+        object routed to two consumers is *shared* — a transition through
+        one is visible to the other), so the copy memoizes on identity to
+        preserve the aliasing graph exactly. Completed TraceEvents and
+        AStates are immutable and shared by reference.
+        """
+        memo: Dict[int, object] = {}
+
+        def cp(entry: QueueEntry) -> QueueEntry:
+            out = memo.get(id(entry))
+            if out is None:
+                obj = entry.obj
+                nobj = memo.get(id(obj))
+                if nobj is None:
+                    nobj = SimObject(obj.obj_id, obj.class_name, obj.state,
+                                     obj.tag_key)
+                    memo[id(obj)] = nobj
+                out = QueueEntry(nobj, entry.arrived_at, entry.producer_event)
+                memo[id(entry)] = out
+            return out
+
+        return {
+            "events": [
+                e if e[6] is None
+                else (e[0], e[1], e[2], e[3], e[4], e[5], cp(e[6]))
+                for e in self._events
+            ],
+            "sets": {
+                key: [deque(cp(e) for e in dq) for dq in lst]
+                for key, lst in self._sets.items()
+            },
+            "ready": {
+                core: deque([cp(e) for e in combo] for combo in dq)
+                for core, dq in self.ready.items()
+            },
+            "ready_task": {
+                core: deque(dq) for core, dq in self._ready_task.items()
+            },
+            "busy_until": dict(self.busy_until),
+            "core_busy": dict(self.core_busy),
+            "invocations": dict(self.invocations),
+            "rr_state": dict(self._rr_state),
+            "alloc_carry": dict(self._alloc_carry),
+            "trace": list(self.trace),
+            "taken": dict(self.chooser._taken),
+            "total": dict(self.chooser._total),
+            "seq": self._seq,
+            "next_obj_id": self._next_obj_id,
+            "next_event_id": self._next_event_id,
+        }
+
+    def _restore_for_delta(self, snap: _Snapshot, moved: str) -> bool:
+        """Adopts a parent snapshot as this engine's starting state.
+
+        The caller guarantees the layouts differ only in ``moved``'s
+        instance set and that the snapshot predates ``moved``'s first
+        placement consultation. This method re-verifies the consequences
+        (nothing in the prefix can mention the moved task, and cores the
+        child no longer uses must be untouched) and returns False —
+        leaving the engine unusable — when any check fails.
+        """
+        st = snap.state
+        used = set(self._core_list)
+        if moved in st["invocations"]:
+            return False
+        for core, value in st["busy_until"].items():
+            if core not in used and value != _INIT:
+                return False
+        for core, value in st["core_busy"].items():
+            if core not in used and value:
+                return False
+        for core, dq in st["ready"].items():
+            if core not in used and dq:
+                return False
+        for tasks in st["ready_task"].values():
+            if moved in tasks:
+                return False
+        for (core, task), lst in st["sets"].items():
+            if (task == moved or core not in used) and any(lst):
+                return False
+        for event in st["events"]:
+            if event[2] == _EV_ARRIVE and event[4] == moved:
+                return False
+        for origin, task in st["rr_state"]:
+            if task == moved or origin not in used:
+                return False
+        for scope in st["total"]:
+            if scope[0] == moved:
+                return False
+
+        memo: Dict[int, object] = {}
+
+        def cp(entry: QueueEntry) -> QueueEntry:
+            out = memo.get(id(entry))
+            if out is None:
+                obj = entry.obj
+                nobj = memo.get(id(obj))
+                if nobj is None:
+                    nobj = SimObject(obj.obj_id, obj.class_name, obj.state,
+                                     obj.tag_key)
+                    memo[id(obj)] = nobj
+                out = QueueEntry(nobj, entry.arrived_at, entry.producer_event)
+                memo[id(entry)] = out
+            return out
+
+        # The copied heap list is a valid heap verbatim: the prefix's
+        # push/pop sequence is deterministic, so a full child run would
+        # have produced the identical array.
+        self._events = [
+            e if e[6] is None
+            else (e[0], e[1], e[2], e[3], e[4], e[5], cp(e[6]))
+            for e in st["events"]
+        ]
+        self._seq = st["seq"]
+        self._next_obj_id = st["next_obj_id"]
+        self._next_event_id = st["next_event_id"]
+        self._rr_state = dict(st["rr_state"])
+        self._alloc_carry = dict(st["alloc_carry"])
+        self.invocations = dict(st["invocations"])
+        self.trace = list(st["trace"])
+        self.chooser._taken = dict(st["taken"])
+        self.chooser._total = dict(st["total"])
+        # Re-key per-core state in *this* layout's cores_used() order so
+        # dict iteration (the trailing kick sweep, result dicts) matches a
+        # full child run; cores new to the child start cold.
+        busy = st["busy_until"]
+        busyc = st["core_busy"]
+        readys = st["ready"]
+        rtasks = st["ready_task"]
+        setsrc = st["sets"]
+        self.busy_until = {
+            core: busy.get(core, _INIT) for core in self._core_list
+        }
+        self.core_busy = {core: busyc.get(core, 0) for core in self._core_list}
+        ready: Dict[int, Deque[List[QueueEntry]]] = {}
+        ready_task: Dict[int, Deque[str]] = {}
+        sets: Dict[Tuple[int, str], List[Deque[QueueEntry]]] = {}
+        for core in self._core_list:
+            dq = readys.get(core)
+            ready[core] = (
+                deque([cp(e) for e in combo] for combo in dq) if dq else deque()
+            )
+            rt = rtasks.get(core)
+            ready_task[core] = deque(rt) if rt else deque()
+            for task in self.layout.tasks_on_core(core):
+                nparams = self.tables.rec(task).nparams
+                if task == moved:
+                    sets[(core, task)] = [deque() for _ in range(nparams)]
+                else:
+                    src = setsrc.get((core, task))
+                    if src is None:  # pragma: no cover - layouts pre-checked
+                        return False
+                    sets[(core, task)] = [
+                        deque(cp(e) for e in dq) for dq in src
+                    ]
+        self.ready = ready
+        self._ready_task = ready_task
+        self._sets = sets
+        self._resumed = True
+        self._resume_processed = snap.processed
+        self._resume_last_time = snap.last_time
+        return True
+
+    # -- main loop ---------------------------------------------------------------
 
     def run(self) -> SimResult:
-        profiler = prof.active()
+        profiler = None if self._observe is False else prof.active()
 
-        startup_state = AState.make([builtins.STARTUP_FLAG])
-        startup = self._new_object(builtins.STARTUP_CLASS, startup_state, None)
-        self._route(startup, None, costs.RUNTIME_INIT_COST, producer_event=None)
+        if not self._resumed:
+            startup = SimObject(
+                self._next_obj_id,
+                builtins.STARTUP_CLASS,
+                AState.make([builtins.STARTUP_FLAG]),
+                None,
+            )
+            self._next_obj_id += 1
+            self._route(startup, None, _INIT, None)
 
         if profiler is None:
             processed, finished, pruned, last_time = self._drain()
@@ -310,6 +857,7 @@ class SchedulingSimulator:
             processed, finished, pruned, last_time = self._drain_profiled(
                 profiler
             )
+        self.processed = processed
 
         total = max([last_time] + list(self.busy_until.values()))
         busy_time = sum(self.core_busy.values())
@@ -327,31 +875,47 @@ class SchedulingSimulator:
 
     def _drain(self) -> Tuple[int, bool, bool, int]:
         """The event loop, unobserved: the simulator's hot path."""
-        processed = 0
+        events = self._events
+        pop = heapq.heappop
+        push = heapq.heappush
+        cutoff = self.cutoff
+        max_events = self.max_events
+        sets = self._sets
+        ready_task = self._ready_task
+        busy_until = self.busy_until
+        dispatch = self._dispatch
+        try_form = self._try_form
+        snap_at = self._snap_next
+        processed = self._resume_processed
         finished = True
         pruned = False
-        last_time = costs.RUNTIME_INIT_COST
-        while self._events:
+        # Event times are nondecreasing (pushes never go backwards), so
+        # tracking the last popped time needs no max().
+        last_time = self._resume_last_time
+        while events:
             processed += 1
-            if processed > self.max_events:
+            if processed > max_events:
                 finished = False
                 break
-            time, _, kind, payload = heapq.heappop(self._events)
-            if self.cutoff is not None and time > self.cutoff:
+            time, _, kind, core, task, param_index, entry = pop(events)
+            if cutoff is not None and time > cutoff:
                 # Every remaining event is at or past this one, so the true
                 # makespan exceeds the cutoff — the incumbent already wins.
                 pruned = True
-                last_time = max(last_time, time)
+                last_time = time
                 break
-            last_time = max(last_time, time)
-            if kind == "arrive":
-                core, task, param_index, entry = payload
-                self._arrive(core, task, param_index, entry, time)
-            elif kind == "kick":
-                (core,) = payload
-                self._dispatch(core, time)
-            else:  # pragma: no cover
-                raise ScheduleError(f"unknown sim event {kind}")
+            last_time = time
+            if kind:
+                dispatch(core, time)
+            else:
+                sets[(core, task)][param_index].append(entry)
+                try_form(core, task, time)
+                if ready_task[core] and busy_until[core] <= time:
+                    self._seq = s = self._seq + 1
+                    push(events, (time, s, _EV_KICK, core, None, 0, None))
+            if processed == snap_at:
+                self._take_snapshot(processed, last_time)
+                snap_at = self._snap_next
         return processed, finished, pruned, last_time
 
     def _drain_profiled(self, profiler) -> Tuple[int, bool, bool, int]:
@@ -364,14 +928,15 @@ class SchedulingSimulator:
         (~150ns per ``perf_counter_ns`` here), so one event in
         :data:`_SAMPLE_EVERY` is timed end-to-end: its pop goes to the
         ``queue`` bucket, its handler to ``arrive``/``dispatch``, and —
-        only inside the sampled window — the wrapped _route/_try_form
-        time themselves into ``mail``/``form``, whose delta is
+        only inside the sampled window — the counting _route/_try_form
+        wrappers time themselves into ``mail``/``form``, whose delta is
         subtracted from the handler's bucket to keep the five disjoint.
         Call *counts* are exact; at flush the sampled times are scaled
         by the per-bucket inverse sampling fraction and normalized so
         the five buckets tile the once-measured loop wall exactly.
         """
-        self._counting = True
+        self._route = self._route_counted
+        self._try_form = self._try_form_counted
         self._mail_ns = self._form_ns = 0
         self._mail_n = self._form_n = 0
         self._mail_k = self._form_k = 0
@@ -380,14 +945,15 @@ class SchedulingSimulator:
         events = self._events
         cutoff = self.cutoff
         max_events = self.max_events
+        snap_at = self._snap_next
         queue_ns = arrive_ns = dispatch_ns = 0
         sampled = arrive_k = dispatch_k = 0
         arrive_n = dispatch_n = 0
         countdown = 1  # sample the first event, then every Nth
-        processed = 0
+        processed = self._resume_processed
         finished = True
         pruned = False
-        last_time = costs.RUNTIME_INIT_COST
+        last_time = self._resume_last_time
         loop_start = clock()
         try:
             while events:
@@ -397,61 +963,60 @@ class SchedulingSimulator:
                     break
                 countdown -= 1
                 if countdown:  # unsampled: _drain's body plus exact counts
-                    time, _, kind, payload = pop(events)
+                    time, _, kind, core, task, param_index, entry = pop(events)
                     if cutoff is not None and time > cutoff:
                         pruned = True
-                        last_time = max(last_time, time)
+                        last_time = time
                         break
-                    last_time = max(last_time, time)
-                    if kind == "arrive":
-                        arrive_n += 1
-                        core, task, param_index, entry = payload
-                        self._arrive(core, task, param_index, entry, time)
-                    elif kind == "kick":
+                    last_time = time
+                    if kind:
                         dispatch_n += 1
-                        (core,) = payload
                         self._dispatch(core, time)
-                    else:  # pragma: no cover
-                        raise ScheduleError(f"unknown sim event {kind}")
+                    else:
+                        arrive_n += 1
+                        self._arrive(core, task, param_index, entry, time)
+                    if processed == snap_at:
+                        self._take_snapshot(processed, last_time)
+                        snap_at = self._snap_next
                     continue
                 countdown = _SAMPLE_EVERY
                 sampled += 1
                 tick = clock()
-                time, _, kind, payload = pop(events)
+                time, _, kind, core, task, param_index, entry = pop(events)
                 now = clock()
                 queue_ns += now - tick
                 tick = now
                 if cutoff is not None and time > cutoff:
                     pruned = True
-                    last_time = max(last_time, time)
+                    last_time = time
                     break
-                last_time = max(last_time, time)
+                last_time = time
                 self._timing = True
                 nested = self._mail_ns + self._form_ns
-                if kind == "arrive":
-                    arrive_n += 1
-                    core, task, param_index, entry = payload
-                    self._arrive(core, task, param_index, entry, time)
-                    now = clock()
-                    arrive_ns += (
-                        now - tick - (self._mail_ns + self._form_ns - nested)
-                    )
-                    arrive_k += 1
-                elif kind == "kick":
+                if kind:
                     dispatch_n += 1
-                    (core,) = payload
                     self._dispatch(core, time)
                     now = clock()
                     dispatch_ns += (
                         now - tick - (self._mail_ns + self._form_ns - nested)
                     )
                     dispatch_k += 1
-                else:  # pragma: no cover
-                    raise ScheduleError(f"unknown sim event {kind}")
+                else:
+                    arrive_n += 1
+                    self._arrive(core, task, param_index, entry, time)
+                    now = clock()
+                    arrive_ns += (
+                        now - tick - (self._mail_ns + self._form_ns - nested)
+                    )
+                    arrive_k += 1
                 self._timing = False
+                if processed == snap_at:
+                    self._take_snapshot(processed, last_time)
+                    snap_at = self._snap_next
         finally:
             loop_ns = clock() - loop_start
-            self._counting = False
+            self._route = self._route_impl
+            self._try_form = self._try_form_impl
             self._timing = False
             estimates = {
                 "queue": queue_ns * processed // sampled if sampled else 0,
@@ -477,7 +1042,7 @@ class SchedulingSimulator:
                 loop_ns,
                 estimates,
                 {
-                    "queue": processed,
+                    "queue": processed - self._resume_processed,
                     "arrive": arrive_n,
                     "dispatch": dispatch_n,
                     "mail": self._mail_n,
@@ -522,16 +1087,18 @@ class SchedulingSimulator:
     # -- arrivals & invocation formation -----------------------------------------
 
     def _arrive(
-        self, core: int, task: str, param_index: int, entry: QueueEntry, time: int
+        self, core: int, task: str, param_index: int, entry: QueueEntry,
+        time: int
     ) -> None:
-        self.param_sets[(core, task, param_index)].append(entry)
+        self._sets[(core, task)][param_index].append(entry)
         self._try_form(core, task, time)
         if self._ready_task[core] and self.busy_until[core] <= time:
-            self._push(time, "kick", (core,))
+            self._seq = s = self._seq + 1
+            heapq.heappush(
+                self._events, (time, s, _EV_KICK, core, None, 0, None)
+            )
 
-    def _try_form(self, core: int, task: str, time: int) -> None:
-        if not self._counting:
-            return self._try_form_impl(core, task, time)
+    def _try_form_counted(self, core: int, task: str, time: int) -> None:
         self._form_n += 1
         if not self._timing:
             return self._try_form_impl(core, task, time)
@@ -543,15 +1110,19 @@ class SchedulingSimulator:
             self._form_k += 1
 
     def _try_form_impl(self, core: int, task: str, time: int) -> None:
-        params = self.info.task_info(task).decl.params
-        sets = [
-            self.param_sets[(core, task, index)] for index in range(len(params))
-        ]
+        sets = self._sets[(core, task)]
+        if len(sets) == 1:
+            pending = sets[0]
+            if pending:
+                ready = self.ready[core]
+                ready_task = self._ready_task[core]
+                while pending:
+                    ready.append([pending.popleft()])
+                    ready_task.append(task)
+            return
+        params = self.tables.rec(task).params
         while all(sets):
-            if len(params) == 1:
-                combo: Optional[List[QueueEntry]] = [sets[0].popleft()]
-            else:
-                combo = self._pop_compatible(params, sets)
+            combo = self._pop_compatible(params, sets)
             if combo is None:
                 return
             self.ready[core].append(combo)
@@ -594,133 +1165,149 @@ class SchedulingSimulator:
     # -- dispatch -----------------------------------------------------------------
 
     def _dispatch(self, core: int, time: int) -> None:
-        if self.busy_until[core] > time:
+        busy_until = self.busy_until
+        if busy_until[core] > time:
             return
+        ready = self.ready[core]
+        ready_task = self._ready_task[core]
+        tables = self.tables
         combo: Optional[List[QueueEntry]] = None
         task = ""
-        while self.ready[core]:
-            candidate = self.ready[core].popleft()
-            candidate_task = self._ready_task[core].popleft()
-            params = self.info.task_info(candidate_task).decl.params
-            stale = [
-                (index, entry)
-                for index, (param, entry) in enumerate(zip(params, candidate))
-                if not guard_matches(param, entry.obj.state)
-            ]
-            if not stale:
+        rec = None
+        while ready:
+            candidate = ready.popleft()
+            candidate_task = ready_task.popleft()
+            rec = tables.rec(candidate_task)
+            guards = rec.guards
+            params = rec.params
+            stale = None
+            for index in range(rec.nparams):
+                state = candidate[index].obj.state
+                memo = guards[index]
+                ok = memo.get(state)
+                if ok is None:
+                    ok = guard_matches(params[index], state)
+                    memo[state] = ok
+                if not ok:
+                    if stale is None:
+                        stale = {index}
+                    else:
+                        stale.add(index)
+            if stale is None:
                 combo = candidate
                 task = candidate_task
                 break
             # Mirror the runtime: drop the invocation, put still-valid
             # objects back in their sets, re-route stale objects by their
             # current state.
-            stale_indices = {index for index, _ in stale}
+            sets = self._sets[(core, candidate_task)]
             for index, entry in enumerate(candidate):
-                if index in stale_indices:
-                    self._route(
-                        entry.obj, core, time, producer_event=entry.producer_event
-                    )
+                if index in stale:
+                    self._route(entry.obj, core, time, entry.producer_event)
                 else:
-                    self.param_sets[(core, candidate_task, index)].appendleft(entry)
+                    sets[index].appendleft(entry)
             self._try_form(core, candidate_task, time)
         if combo is None:
             return
 
         data_ready = max(entry.arrived_at for entry in combo)
-        start = max(time, self.busy_until[core])
-        first_obj = combo[0].obj
-        func = self.compiled.ir_program.tasks[task]
-        if self.profile.exit_ids(task):
-            exit_id = self.chooser.choose(task, first_obj.obj_id)
-            duration = max(1, int(round(self.profile.avg_cycles(task, exit_id))))
+        start = time if time > busy_until[core] else busy_until[core]
+        if rec.has_exits:
+            exit_id = self.chooser.choose(task, combo[0].obj.obj_id)
+            duration = tables.duration(task, exit_id, core, True)
         else:
-            # The profiled run never invoked this task (e.g. it lost every
-            # race for its objects). Fall back to the static exit table —
-            # the lowest explicit exit — so the simulated object still
-            # transitions, and charge a nominal duration.
-            exit_id = min(
-                (e for e in func.exits if e != 0), default=0
-            )
-            duration = UNPROFILED_TASK_CYCLES
-        duration = scale_duration(duration, core_speed(self.core_speeds, core))
+            exit_id = rec.fallback_exit
+            duration = tables.duration(task, -1, core, False)
         end = start + duration
 
+        event_id = self._next_event_id
+        self._next_event_id = event_id + 1
         event = TraceEvent(
-            event_id=self._next_event_id,
-            task=task,
-            core=core,
-            start=start,
-            end=end,
-            exit_id=exit_id,
-            data_ready=data_ready,
-            param_objects=[entry.obj.obj_id for entry in combo],
-            inputs=[
-                (entry.producer_event, max(0, entry.arrived_at - start))
+            event_id,
+            task,
+            core,
+            start,
+            end,
+            exit_id,
+            data_ready,
+            [entry.obj.obj_id for entry in combo],
+            [
+                (
+                    entry.producer_event,
+                    entry.arrived_at - start
+                    if entry.arrived_at > start
+                    else 0,
+                )
                 for entry in combo
             ],
+            [],
         )
-        self._next_event_id += 1
         self.trace.append(event)
-        self.invocations[task] = self.invocations.get(task, 0) + 1
+        invocations = self.invocations
+        invocations[task] = invocations.get(task, 0) + 1
         self.core_busy[core] += duration
-        self.busy_until[core] = end
+        busy_until[core] = end
 
         # Transition parameter objects per the exit's flag/tag actions.
-        spec = func.exits.get(exit_id)
-        for param_index, entry in enumerate(combo):
-            obj = entry.obj
-            if spec is not None:
-                updates = spec.flag_updates.get(param_index, {})
-                state = obj.state.with_flags(updates)
-                for action in spec.tag_updates.get(param_index, []):
-                    delta = 1 if action.op == "add" else -1
-                    state = state.with_tag_delta(action.tag_type, delta)
-                    if action.op == "add":
-                        # Tag this object with the invocation's key so it
-                        # pairs (via tag hashing) with objects the same
-                        # invocation allocated.
-                        obj.tag_key = event.event_id
-                    elif state.tag_count(action.tag_type) == 0:
-                        obj.tag_key = None
-                obj.state = state
-            self._route(obj, core, end, producer_event=event.event_id)
+        route = self._route
+        plan = tables.exit_plan(task, exit_id, rec)
+        if plan is None:
+            for entry in combo:
+                route(entry.obj, core, end, event_id)
+        else:
+            steps = plan.steps
+            spec = plan.spec
+            for param_index, entry in enumerate(combo):
+                obj = entry.obj
+                memo = steps[param_index]
+                state = obj.state
+                hit = memo.get(state)
+                if hit is None:
+                    hit = _transition(spec, param_index, state)
+                    memo[state] = hit
+                new_state, tag_mode = hit
+                if tag_mode:
+                    obj.tag_key = event_id if tag_mode == 1 else None
+                obj.state = new_state
+                route(obj, core, end, event_id)
 
         # Allocate new objects per the profile's expectations.
-        for site_id, avg in sorted(
-            self.profile.avg_allocs(task, exit_id).items()
-        ):
-            site = self.compiled.ir_program.alloc_sites.get(site_id)
-            if site is None:
-                continue
-            carry_key = (task, exit_id, site_id)
-            carry = self._alloc_carry.get(carry_key, 0.0) + avg
-            emit = int(carry)
-            self._alloc_carry[carry_key] = carry - emit
-            flags = [f for f, v in site.flag_inits.items() if v]
-            tags = {t: 1 for t in site.tag_types}
-            state = AState.make(flags, tags)
-            tag_key = event.event_id if site.tag_types else None
-            for _ in range(emit):
-                obj = self._new_object(site.class_name, state, tag_key)
-                event.produced.append(obj.obj_id)
-                self._route(obj, core, end, producer_event=event.event_id)
+        alloc_plan = tables.alloc_plan(task, exit_id)
+        if alloc_plan:
+            carry_map = self._alloc_carry
+            produced = event.produced
+            for carry_key, avg, class_name, state, has_tags in alloc_plan:
+                carry = carry_map.get(carry_key, 0.0) + avg
+                emit = int(carry)
+                carry_map[carry_key] = carry - emit
+                if emit:
+                    tag_key = event_id if has_tags else None
+                    next_id = self._next_obj_id
+                    self._next_obj_id = next_id + emit
+                    for _ in range(emit):
+                        obj = SimObject(next_id, class_name, state, tag_key)
+                        next_id += 1
+                        produced.append(obj.obj_id)
+                        route(obj, core, end, event_id)
 
-        self._push(end, "kick", (core,))
-        for other in self.ready:
-            if other != core and self.ready[other] and self.busy_until[other] <= end:
-                self._push(end, "kick", (other,))
+        events = self._events
+        self._seq = s = self._seq + 1
+        heapq.heappush(events, (end, s, _EV_KICK, core, None, 0, None))
+        ready_map = self.ready
+        for other in self._core_list:
+            if other != core and ready_map[other] and busy_until[other] <= end:
+                self._seq = s = self._seq + 1
+                heapq.heappush(events, (end, s, _EV_KICK, other, None, 0, None))
 
     # -- routing --------------------------------------------------------------------
 
-    def _route(
+    def _route_counted(
         self,
         obj: SimObject,
         sender: Optional[int],
         time: int,
         producer_event: Optional[int],
     ) -> None:
-        if not self._counting:
-            return self._route_impl(obj, sender, time, producer_event)
         self._mail_n += 1
         if not self._timing:
             return self._route_impl(obj, sender, time, producer_event)
@@ -739,31 +1326,431 @@ class SchedulingSimulator:
         producer_event: Optional[int],
     ) -> None:
         consumers = self.router.consumers(obj.class_name, obj.state)
+        if not consumers:
+            return
+        first_touch = self._first_touch
+        cores_of = self._cores_of
+        tables = self.tables
+        layout = self.layout
+        rr_state = self._rr_state
+        events = self._events
         for task, param_index in consumers:
-            tag_hash = None
-            task_info = self.info.task_info(task)
-            if (
-                len(self.layout.cores_of(task)) > 1
-                and len(task_info.decl.params) > 1
-                and obj.tag_key is not None
+            if first_touch is not None and task not in first_touch:
+                # The routing decision below is the first time this task's
+                # placement can influence the timeline; any snapshot taken
+                # before now is reusable for a migration of this task.
+                first_touch[task] = self._snap_epoch
+            cores = cores_of[task]
+            if len(cores) == 1:
+                dest = cores[0]
+            elif (
+                obj.tag_key is not None
+                and tables.rec(task).nparams > 1
             ):
-                tag_hash = obj.tag_key
-            origin = sender if sender is not None else 0
-            dest = self.router.pick_core(task, self._rr_state, origin, tag_hash)
-            if sender is None or dest == sender:
-                latency = 0 if sender is None else costs.ENQUEUE_COST
+                dest = cores[obj.tag_key % len(cores)]
             else:
-                hops = self.layout.hops(sender, dest)
+                # Round-robin, staggered by sender so co-located producers
+                # don't all hammer the same replica first (Router.pick_core
+                # semantics, inlined).
+                origin = sender if sender is not None else 0
+                key = (origin, task)
+                index = rr_state.get(key)
+                if index is None:
+                    index = (
+                        cores.index(origin)
+                        if origin in cores
+                        else origin % len(cores)
+                    )
+                rr_state[key] = index + 1
+                dest = cores[index % len(cores)]
+            if sender is None:
+                latency = 0
+            elif dest == sender:
+                latency = _ENQUEUE
+            else:
                 latency = (
-                    costs.MSG_SEND_COST
-                    + hops * costs.HOP_COST
-                    + costs.MSG_WORD_COST * self._class_size(obj.class_name)
-                    + costs.ENQUEUE_COST
+                    _MSG_SEND
+                    + layout.hops(sender, dest) * _HOP
+                    + _MSG_WORD * tables.class_size(obj.class_name)
+                    + _ENQUEUE
                 )
-            entry = QueueEntry(
-                obj=obj, arrived_at=time + latency, producer_event=producer_event
+            arrived = time + latency
+            self._seq = s = self._seq + 1
+            heapq.heappush(
+                events,
+                (
+                    arrived,
+                    s,
+                    _EV_ARRIVE,
+                    dest,
+                    task,
+                    param_index,
+                    QueueEntry(obj, arrived, producer_event),
+                ),
             )
-            self._push(time + latency, "arrive", (dest, task, param_index, entry))
+
+
+# -- sessions -------------------------------------------------------------------
+
+
+class SimSession:
+    """A reusable simulation context for one (program, profile) pair.
+
+    Sharing a session across simulations buys two things:
+
+    * the layout-independent :class:`_ProgramTables` memos are computed
+      once, and
+    * **delta re-simulation**: when :meth:`simulate` is given a
+      :class:`DeltaMove` hint naming an already-simulated parent layout,
+      the session resumes from the latest parent snapshot taken before
+      the moved task's placement was first consulted and replays only
+      the downstream events. Resumed runs are bit-identical to full
+      runs — the hint can change cost, never results — and the session
+      falls back to a full simulation whenever no usable snapshot
+      exists.
+
+    Sessions are cheap to create and safe to use from one thread at a
+    time; the backing :class:`SessionStore` may be shared across
+    threads (the serving layer shares one per context cache).
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        profile: ProfileData,
+        *,
+        hints: Optional[Dict[str, str]] = None,
+        core_speeds: Optional[Dict[int, float]] = None,
+        exit_policy: str = "sequence",
+        max_events: int = 2_000_000,
+        delta: bool = True,
+        snapshot_interval: int = SNAPSHOT_INTERVAL,
+        min_resume_events: int = MIN_RESUME_EVENTS,
+        store: Optional[SessionStore] = None,
+    ):
+        self.compiled = compiled
+        self.profile = profile
+        self.hints = hints
+        self.core_speeds = core_speeds
+        self.exit_policy = exit_policy
+        self.max_events = max_events
+        self.delta = delta
+        self.snapshot_interval = snapshot_interval
+        self.min_resume_events = min_resume_events
+        self.store = store if store is not None else SessionStore()
+        self.tables = _ProgramTables(compiled, profile, core_speeds)
+        self.full_simulations = 0
+        self.delta_attempts = 0
+        self.delta_resumes = 0
+        self.delta_fallbacks = 0
+        self.events_skipped = 0
+        self.snapshots_taken = 0
+        self.parent_warmups = 0
+
+    def fingerprint(self, layout: Layout) -> str:
+        return layout_fingerprint(layout, self.core_speeds)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "full_simulations": self.full_simulations,
+            "delta_attempts": self.delta_attempts,
+            "delta_resumes": self.delta_resumes,
+            "delta_fallbacks": self.delta_fallbacks,
+            "events_skipped": self.events_skipped,
+            "snapshots_taken": self.snapshots_taken,
+            "parent_warmups": self.parent_warmups,
+            "parents_stored": len(self.store),
+        }
+
+    def _engine(
+        self,
+        layout: Layout,
+        cutoff: Optional[int],
+        observe: Optional[bool],
+    ) -> _SimEngine:
+        engine = _SimEngine(
+            self.compiled,
+            layout,
+            self.profile,
+            hints=self.hints,
+            max_events=self.max_events,
+            exit_policy=self.exit_policy,
+            core_speeds=self.core_speeds,
+            cutoff=cutoff,
+            tables=self.tables,
+            observe=observe,
+        )
+        return engine
+
+    def simulate(
+        self,
+        layout: Layout,
+        *,
+        cutoff: Optional[int] = None,
+        delta: Optional[DeltaMove] = None,
+        observe: Optional[bool] = None,
+    ) -> SimResult:
+        """Simulates ``layout``; ``delta`` is a pure cost hint."""
+        fingerprint = layout_fingerprint(layout, self.core_speeds)
+        if delta is not None and self.delta:
+            self.delta_attempts += 1
+            result = self._try_delta(delta, layout, fingerprint, cutoff,
+                                     observe)
+            if result is not None:
+                return result
+            self.delta_fallbacks += 1
+        engine = self._engine(layout, cutoff, observe)
+        if self.delta:
+            # Record cheaply: first-touch epochs and phantom snapshots
+            # only. Real state copies are deferred to _warm_parent, paid
+            # exactly once per layout that a delta hint proves resumable.
+            engine._enable_recording(self.snapshot_interval, capture=False)
+        result = engine.run()
+        self.full_simulations += 1
+        self._store_record(fingerprint, layout, engine)
+        return result
+
+    def _pick_snapshot(
+        self, record: _ParentRecord, moved: str, cutoff: Optional[int]
+    ) -> Optional[_Snapshot]:
+        """The latest parent snapshot reusable for a ``moved`` migration
+        evaluated under ``cutoff`` — phantom or real — or None."""
+        touch_epoch = record.first_touch.get(moved, _FT_INF)
+        best: Optional[_Snapshot] = None
+        for snapshot in record.snapshots:
+            if snapshot.epoch >= touch_epoch:
+                break
+            if cutoff is not None and snapshot.last_time > cutoff:
+                # The snapshot's prefix already crossed the cutoff; a
+                # cutoff run would have stopped earlier, so resuming from
+                # it could not reproduce the pruned result exactly.
+                break
+            best = snapshot
+        return best
+
+    def _warm_parent(self, record: _ParentRecord) -> Optional[_ParentRecord]:
+        """Re-simulates a phantom parent with full state capture.
+
+        The engine is deterministic, so the warm run retraces the
+        original exactly — same epochs, same first touches — and merely
+        fills in the states the phantom record proved worth having. One
+        full-simulation cost, amortized over every child that names this
+        parent (and over later iterations, while the record stays in the
+        store).
+        """
+        engine = self._engine(record.layout, None, False)
+        engine._enable_recording(self.snapshot_interval, capture=True)
+        engine.run()
+        self.parent_warmups += 1
+        self._store_record(record.fingerprint, record.layout, engine)
+        return self.store.get(record.fingerprint)
+
+    def _try_delta(
+        self,
+        hint: DeltaMove,
+        layout: Layout,
+        fingerprint: str,
+        cutoff: Optional[int],
+        observe: Optional[bool],
+    ) -> Optional[SimResult]:
+        record = self.store.get(hint.parent)
+        if record is None:
+            return None
+        moved = hint.task
+        parent = record.layout
+        if (
+            parent.num_cores != layout.num_cores
+            or parent.mesh_width != layout.mesh_width
+            or parent.topology != layout.topology
+        ):
+            return None
+        parent_instances = parent.instances
+        child_instances = layout.instances
+        if len(parent_instances) != len(child_instances):
+            return None
+        for (ptask, pcores), (ctask, ccores) in zip(
+            parent_instances, child_instances
+        ):
+            if ptask != ctask:
+                return None
+            if pcores != ccores and ptask != moved:
+                return None
+        best = self._pick_snapshot(record, moved, cutoff)
+        if best is None or best.processed < self.min_resume_events:
+            return None
+        if best.state is None:
+            # Phantom record: the resume is provably worthwhile (enough
+            # skippable prefix), so pay the one-time warm-up now. The
+            # warm run may extend past a cutoff the original stopped at,
+            # which only ever adds usable snapshots; re-pick against the
+            # fresh record either way.
+            record = self._warm_parent(record)
+            if record is None:  # pragma: no cover - store raced/evicted
+                return None
+            best = self._pick_snapshot(record, moved, cutoff)
+            if (
+                best is None
+                or best.state is None
+                or best.processed < self.min_resume_events
+            ):
+                return None
+        engine = self._engine(layout, cutoff, observe)
+        # Tasks already touched in the reused prefix resume as "touched
+        # before any of the child's own snapshots" (epoch 0).
+        engine._first_touch = {
+            task: 0
+            for task, epoch in record.first_touch.items()
+            if epoch <= best.epoch
+        }
+        if not engine._restore_for_delta(best, moved):
+            return None
+        # The resumed child records phantoms too — if it becomes a parent
+        # worth resuming from, _warm_parent rebuilds it from scratch.
+        engine._enable_recording(self.snapshot_interval, capture=False)
+        result = engine.run()
+        self.delta_resumes += 1
+        self.events_skipped += best.processed
+        self._store_record(fingerprint, layout, engine)
+        return result
+
+    def _store_record(
+        self, fingerprint: str, layout: Layout, engine: _SimEngine
+    ) -> None:
+        snapshots = engine._snapshots
+        if not snapshots:
+            return
+        if snapshots[0].state is None:
+            existing = self.store.get(fingerprint)
+            if (
+                existing is not None
+                and existing.snapshots
+                and existing.snapshots[0].state is not None
+            ):
+                # Never clobber a warmed (real-state) record with a
+                # phantom one — the warm-up cost is already sunk.
+                return
+        self.snapshots_taken += len(snapshots)
+        self.store.put(
+            fingerprint,
+            _ParentRecord(
+                fingerprint=fingerprint,
+                layout=layout,
+                first_touch=engine._first_touch,
+                snapshots=tuple(snapshots),
+            ),
+        )
+
+
+# -- facade & legacy shims ------------------------------------------------------
+
+
+def simulate(
+    compiled: "CompiledProgram",
+    layout: Layout,
+    profile: Optional[ProfileData] = None,
+    *,
+    hints: Optional[Dict[str, str]] = None,
+    core_speeds: Optional[Dict[int, float]] = None,
+    exit_policy: str = "sequence",
+    max_events: int = 2_000_000,
+    cutoff: Optional[int] = None,
+    observe: Optional[bool] = None,
+    session: Optional[SimSession] = None,
+    delta: Optional[DeltaMove] = None,
+) -> SimResult:
+    """Simulate one layout and return its :class:`SimResult`.
+
+    The one entry point for scheduling simulation. With ``session``
+    (a :class:`SimSession`), per-program tables are shared across calls
+    and ``delta`` hints enable incremental re-simulation; the per-call
+    keyword knobs (``hints``/``core_speeds``/``exit_policy``/
+    ``max_events``) then live on the session and must not be repeated
+    here. ``observe`` controls profiler attachment: ``None`` (auto)
+    attaches to the active :mod:`repro.obs.prof` profiler if one is
+    installed, ``False`` forces the unobserved fast drain.
+    """
+    if session is not None:
+        if profile is not None and profile is not session.profile:
+            raise ScheduleError(
+                "simulate(): pass profile via the session, not per call"
+            )
+        if hints is not None or core_speeds is not None:
+            raise ScheduleError(
+                "simulate(): hints/core_speeds live on the session"
+            )
+        return session.simulate(
+            layout, cutoff=cutoff, delta=delta, observe=observe
+        )
+    if profile is None:
+        raise ScheduleError("simulate() requires a profile (or a session)")
+    engine = _SimEngine(
+        compiled,
+        layout,
+        profile,
+        hints=hints,
+        max_events=max_events,
+        exit_policy=exit_policy,
+        core_speeds=core_speeds,
+        cutoff=cutoff,
+        observe=observe,
+    )
+    return engine.run()
+
+
+_REMOVAL_VERSION = "0.9"
+
+
+class SchedulingSimulator:
+    """Deprecated run-once wrapper around the simulation engine.
+
+    Use :func:`simulate` (or a :class:`SimSession` for repeated
+    simulations) instead. Scheduled for removal in version
+    {version}; semantics are exactly the legacy ones — construct, then
+    :meth:`run` once.
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        layout: Layout,
+        profile: ProfileData,
+        hints: Optional[Dict[str, str]] = None,
+        max_events: int = 2_000_000,
+        exit_policy: str = "sequence",
+        core_speeds: Optional[Dict[int, float]] = None,
+        cutoff: Optional[int] = None,
+    ):
+        warnings.warn(
+            "SchedulingSimulator is deprecated and will be removed in "
+            f"version {_REMOVAL_VERSION}; use repro.schedule.simulate() "
+            "or SimSession instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._engine = _SimEngine(
+            compiled,
+            layout,
+            profile,
+            hints=hints,
+            max_events=max_events,
+            exit_policy=exit_policy,
+            core_speeds=core_speeds,
+            cutoff=cutoff,
+        )
+
+    def __getattr__(self, name):
+        # Legacy callers poked at simulator internals (chooser, trace,
+        # ready queues); forward to the engine so they keep working for
+        # the shim's deprecation window.
+        return getattr(self._engine, name)
+
+    def run(self) -> SimResult:
+        return self._engine.run()
+
+
+SchedulingSimulator.__doc__ = SchedulingSimulator.__doc__.format(
+    version=_REMOVAL_VERSION
+)
 
 
 def estimate_layout(
@@ -773,7 +1760,21 @@ def estimate_layout(
     hints: Optional[Dict[str, str]] = None,
     core_speeds: Optional[Dict[int, float]] = None,
 ) -> SimResult:
-    """Convenience wrapper: simulate one layout once."""
-    return SchedulingSimulator(
+    """Deprecated convenience wrapper: simulate one layout once.
+
+    Use :func:`simulate` instead; removal in version {version}.
+    """
+    warnings.warn(
+        "estimate_layout is deprecated and will be removed in version "
+        f"{_REMOVAL_VERSION}; use repro.schedule.simulate() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return simulate(
         compiled, layout, profile, hints=hints, core_speeds=core_speeds
-    ).run()
+    )
+
+
+estimate_layout.__doc__ = estimate_layout.__doc__.format(
+    version=_REMOVAL_VERSION
+)

@@ -46,7 +46,7 @@ except ImportError:  # pragma: no cover - py3.7 fallback
 from ..obs import prof
 from ..schedule.layout import Layout
 from ..schedule.mapping import layout_fingerprint
-from ..schedule.simulator import SchedulingSimulator, SimResult
+from ..schedule.simulator import DeltaMove, SimResult, SimSession
 from .cache import CacheEntry, SimCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,9 +75,11 @@ class EvaluationError(RuntimeError):
     """
 
     def __init__(self, position: int, batch_size: int, cause: BaseException):
+        # A _ChunkItemError already names the original exception type.
+        cause_name = getattr(cause, "cause_type", type(cause).__name__)
         super().__init__(
             f"simulation of layout {position + 1}/{batch_size} in batch "
-            f"failed: {type(cause).__name__}: {cause}"
+            f"failed: {cause_name}: {cause}"
         )
         self.position = position
         self.batch_size = batch_size
@@ -128,6 +130,7 @@ class Evaluator(Protocol):
         cutoff: Optional[int] = None,
         budget: Optional[int] = None,
         charge_hits: bool = False,
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> BatchOutcome:
         """Scores ``layouts`` under the batch contract above."""
         ...  # pragma: no cover - protocol
@@ -157,12 +160,26 @@ class _EvaluatorBase:
         hints: Optional[Dict[str, str]] = None,
         core_speeds: Optional[Dict[int, float]] = None,
         cache: Optional[SimCache] = None,
+        delta: bool = True,
     ):
         self.compiled = compiled
         self.profile = profile
         self.hints = hints
         self.core_speeds = core_speeds
         self.cache = cache
+        self.delta = delta
+        # In-process simulation session: shares per-program tables across
+        # the whole search and (with delta=True) resumes candidates from
+        # their parent's snapshots. Results are identical either way; the
+        # cache's session store makes the warm state checkpointable.
+        self.session = SimSession(
+            compiled,
+            profile,
+            hints=hints,
+            core_speeds=core_speeds,
+            delta=delta,
+            store=cache.sessions if cache is not None else None,
+        )
 
     def fingerprint(self, layout: Layout) -> str:
         return layout_fingerprint(layout, self.core_speeds)
@@ -223,6 +240,7 @@ class _EvaluatorBase:
         cutoff: Optional[int] = None,
         budget: Optional[int] = None,
         charge_hits: bool = False,
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> BatchOutcome:
         with prof.phase(_P_CACHE_LOOKUP):
             plan, hits = self._plan(layouts, cutoff, budget, charge_hits)
@@ -230,9 +248,17 @@ class _EvaluatorBase:
         miss_indices = [
             index for index, item in enumerate(plan) if item[2] is None
         ]
+        # ``deltas`` aligns with the *input* batch; re-align the miss
+        # subset by plan position. Hints are pure cost advice — a bad or
+        # missing hint changes nothing but wall clock.
+        if deltas is None:
+            miss_deltas: List[Optional[DeltaMove]] = [None] * len(miss_indices)
+        else:
+            miss_deltas = [deltas[plan[index][0]] for index in miss_indices]
         with prof.phase(_P_DISPATCH):
             results = self._simulate(
-                [plan[index][1] for index in miss_indices], cutoff
+                [plan[index][1] for index in miss_indices], cutoff,
+                miss_deltas,
             )
         with prof.phase(_P_REDUCE):
             for index, result in zip(miss_indices, results):
@@ -260,7 +286,10 @@ class _EvaluatorBase:
     # -- backend hooks -------------------------------------------------------
 
     def _simulate(
-        self, layouts: Sequence[Layout], cutoff: Optional[int]
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int],
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> List[SimResult]:
         raise NotImplementedError
 
@@ -278,18 +307,17 @@ class SerialEvaluator(_EvaluatorBase):
     """In-process, in-order evaluation — the reference backend."""
 
     def _simulate(
-        self, layouts: Sequence[Layout], cutoff: Optional[int]
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int],
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> List[SimResult]:
+        session = self.session
+        if deltas is None:
+            deltas = [None] * len(layouts)
         return [
-            SchedulingSimulator(
-                self.compiled,
-                layout,
-                self.profile,
-                hints=self.hints,
-                core_speeds=self.core_speeds,
-                cutoff=cutoff,
-            ).run()
-            for layout in layouts
+            session.simulate(layout, cutoff=cutoff, delta=delta)
+            for layout, delta in zip(layouts, deltas)
         ]
 
 
@@ -312,38 +340,107 @@ def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
 _WORKER_CONTEXT: Dict[str, object] = {}
 
 
-def _init_worker(compiled, profile, hints, core_speeds) -> None:
+class _ChunkItemError(Exception):
+    """Wraps a simulation failure inside a chunk with its item offset, so
+    the parent can report the exact batch position."""
+
+    def __init__(self, offset: int, cause_type: str, cause_message: str):
+        super().__init__(offset, cause_type, cause_message)
+        self.offset = offset
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+
+    def __str__(self) -> str:
+        return self.cause_message
+
+
+def _init_worker(compiled, profile, hints, core_speeds, delta=True) -> None:
     _WORKER_CONTEXT["compiled"] = compiled
     _WORKER_CONTEXT["profile"] = profile
     _WORKER_CONTEXT["hints"] = hints
     _WORKER_CONTEXT["core_speeds"] = core_speeds
+    # Each worker keeps its own long-lived session: program tables are
+    # built once per process, and delta hints resume against whatever
+    # parents this worker happens to have simulated. Hit patterns vary by
+    # scheduling; results cannot (delta resumes are exact).
+    _WORKER_CONTEXT["session"] = SimSession(
+        compiled,
+        profile,
+        hints=hints,
+        core_speeds=core_speeds,
+        delta=delta,
+    )
     # A forked worker inherits the parent's installed profiler; anything
     # it would record dies with the process, so drop it — the parent
     # attributes worker compute from the timed entry point instead.
     prof.uninstall()
 
 
+def _worker_session() -> SimSession:
+    session = _WORKER_CONTEXT.get("session")
+    if session is None:  # pragma: no cover - initializer always ran
+        session = SimSession(
+            _WORKER_CONTEXT["compiled"],
+            _WORKER_CONTEXT["profile"],
+            hints=_WORKER_CONTEXT["hints"],
+            core_speeds=_WORKER_CONTEXT["core_speeds"],
+        )
+        _WORKER_CONTEXT["session"] = session
+    return session
+
+
 def _simulate_in_worker(layout: Layout, cutoff: Optional[int]) -> SimResult:
-    return SchedulingSimulator(
-        _WORKER_CONTEXT["compiled"],
-        layout,
-        _WORKER_CONTEXT["profile"],
-        hints=_WORKER_CONTEXT["hints"],
-        core_speeds=_WORKER_CONTEXT["core_speeds"],
-        cutoff=cutoff,
-    ).run()
+    return _worker_session().simulate(layout, cutoff=cutoff)
 
 
-def _simulate_in_worker_timed(
-    layout: Layout, cutoff: Optional[int]
-) -> Tuple[int, SimResult]:
-    """The worker entry used when a profiler is active in the parent:
-    returns ``(compute_ns, result)`` so the parent can split its dispatch
-    wall into worker compute vs IPC overhead. The result object itself is
+def _simulate_chunk(
+    items: Sequence[Tuple[Layout, Optional[DeltaMove]]],
+    cutoff: Optional[int],
+) -> List[SimResult]:
+    """Simulates one chunk of (layout, delta-hint) pairs in order.
+
+    Chunking is what amortizes pool IPC across a wave: one submit ships
+    several layouts and returns several results, so the per-dispatch
+    pickling overhead is paid once per chunk instead of once per
+    candidate."""
+    session = _worker_session()
+    results: List[SimResult] = []
+    for offset, (layout, delta) in enumerate(items):
+        try:
+            results.append(
+                session.simulate(layout, cutoff=cutoff, delta=delta)
+            )
+        except Exception as exc:
+            raise _ChunkItemError(
+                offset, type(exc).__name__, str(exc)
+            ) from exc
+    return results
+
+
+def _simulate_chunk_timed(
+    items: Sequence[Tuple[Layout, Optional[DeltaMove]]],
+    cutoff: Optional[int],
+) -> Tuple[int, List[SimResult]]:
+    """The chunk entry used when a profiler is active in the parent:
+    returns ``(compute_ns, results)`` so the parent can split its dispatch
+    wall into worker compute vs IPC overhead. The result objects are
     untouched — cache entries and checkpoints never see the timing."""
     started = _perf_counter_ns()
-    result = _simulate_in_worker(layout, cutoff)
-    return _perf_counter_ns() - started, result
+    results = _simulate_chunk(items, cutoff)
+    return _perf_counter_ns() - started, results
+
+
+def _chunk_bounds(total: int, workers: int) -> List[Tuple[int, int]]:
+    """Splits ``total`` items into contiguous chunks: about two chunks per
+    worker (so a straggling chunk can overlap with the rest of the wave),
+    capped at 16 items so one chunk never serializes a whole huge batch."""
+    if total <= 0:
+        return []
+    size = -(-total // (workers * 2))
+    size = max(1, min(16, size))
+    return [
+        (start, min(start + size, total)) for start in range(0, total, size)
+    ]
 
 
 class ParallelEvaluator(_EvaluatorBase):
@@ -364,9 +461,11 @@ class ParallelEvaluator(_EvaluatorBase):
         core_speeds: Optional[Dict[int, float]] = None,
         cache: Optional[SimCache] = None,
         workers: int = 2,
+        delta: bool = True,
     ):
         super().__init__(
-            compiled, profile, hints=hints, core_speeds=core_speeds, cache=cache
+            compiled, profile, hints=hints, core_speeds=core_speeds,
+            cache=cache, delta=delta,
         )
         if workers < 2:
             raise ValueError(
@@ -386,39 +485,50 @@ class ParallelEvaluator(_EvaluatorBase):
                     self.profile,
                     self.hints,
                     self.core_speeds,
+                    self.delta,
                 ),
             )
         return self._executor
 
     def _simulate(
-        self, layouts: Sequence[Layout], cutoff: Optional[int]
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int],
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> List[SimResult]:
         if not layouts:
             return []
+        if deltas is None:
+            deltas = [None] * len(layouts)
         if len(layouts) == 1:
             # Not worth a round trip; the serial path is bit-identical.
-            return SerialEvaluator._simulate(self, layouts, cutoff)
+            return SerialEvaluator._simulate(self, layouts, cutoff, deltas)
         pool = self._pool()
         profiler = prof.active()
-        worker = (
-            _simulate_in_worker if profiler is None else _simulate_in_worker_timed
-        )
+        worker = _simulate_chunk if profiler is None else _simulate_chunk_timed
+        items = list(zip(layouts, deltas))
+        chunks = _chunk_bounds(len(items), self.workers)
         futures = [
-            pool.submit(worker, layout, cutoff) for layout in layouts
+            pool.submit(worker, items[start:stop], cutoff)
+            for start, stop in chunks
         ]
         results: List[SimResult] = []
         compute_ns = 0
-        for position, future in enumerate(futures):
+        for (start, _), future in zip(chunks, futures):
             try:
                 outcome = future.result()
+            except _ChunkItemError as exc:
+                raise EvaluationError(
+                    start + exc.offset, len(items), exc
+                ) from exc
             except Exception as exc:
-                raise EvaluationError(position, len(futures), exc) from exc
+                raise EvaluationError(start, len(items), exc) from exc
             if profiler is None:
-                results.append(outcome)
+                results.extend(outcome)
             else:
-                elapsed, result = outcome
+                elapsed, chunk_results = outcome
                 compute_ns += elapsed
-                results.append(result)
+                results.extend(chunk_results)
         if profiler is not None:
             # Non-exclusive: worker compute overlaps the parent's
             # ``search.dispatch`` wall (and, with N workers, can exceed
@@ -452,6 +562,7 @@ def make_evaluator(
     supervise: bool = False,
     policy=None,
     chaos=None,
+    delta: bool = True,
 ) -> Evaluator:
     """Builds the right backend for ``workers``.
 
@@ -460,6 +571,8 @@ def make_evaluator(
     deadlines, bounded retries, pool rebuilds, and serial degradation —
     see :mod:`repro.search.supervise`. Serial evaluation has no worker
     processes to supervise, so ``workers=1`` ignores these knobs.
+    ``delta=False`` disables incremental (delta) re-simulation; results
+    are bit-identical either way.
     """
     if workers > 1:
         if supervise or policy is not None or chaos is not None:
@@ -474,6 +587,7 @@ def make_evaluator(
                 workers=workers,
                 policy=policy,
                 chaos=chaos,
+                delta=delta,
             )
         return ParallelEvaluator(
             compiled,
@@ -482,7 +596,9 @@ def make_evaluator(
             core_speeds=core_speeds,
             cache=cache,
             workers=workers,
+            delta=delta,
         )
     return SerialEvaluator(
-        compiled, profile, hints=hints, core_speeds=core_speeds, cache=cache
+        compiled, profile, hints=hints, core_speeds=core_speeds, cache=cache,
+        delta=delta,
     )

@@ -56,7 +56,7 @@ except ImportError:  # pragma: no cover - defensive
 from ..obs import prof
 from ..obs.events import Event, PoolRebuild, WorkerRetry
 from ..schedule.layout import Layout
-from ..schedule.simulator import SimResult
+from ..schedule.simulator import DeltaMove, SimResult
 from .cache import SimCache
 from .evaluator import (
     EvaluationError,
@@ -64,7 +64,10 @@ from .evaluator import (
     SerialEvaluator,
     _C_POOL_DISPATCHES,
     _P_COMPUTE,
+    _ChunkItemError,
+    _chunk_bounds,
     _init_worker,
+    _simulate_chunk,
     _simulate_in_worker,
 )
 
@@ -164,8 +167,8 @@ def _jitter(seq: int, round_index: int) -> float:
 def _chaos_simulate(
     layout: Layout, cutoff: Optional[int], chaos: Optional[Tuple[str, float]]
 ) -> Tuple[float, SimResult]:
-    """The supervised worker entry point: optionally misbehave, then
-    simulate and report the observed wall-time for the EWMA."""
+    """Single-layout supervised worker entry point: optionally misbehave,
+    then simulate and report the observed wall-time for the EWMA."""
     if chaos is not None:
         kind, seconds = chaos
         if kind == "crash":
@@ -175,6 +178,24 @@ def _chaos_simulate(
     started = time.monotonic()
     result = _simulate_in_worker(layout, cutoff)
     return time.monotonic() - started, result
+
+
+def _chaos_simulate_chunk(
+    items: Sequence[Tuple[Layout, Optional[DeltaMove]]],
+    cutoff: Optional[int],
+    chaos: Optional[Tuple[str, float]],
+) -> Tuple[float, List[SimResult]]:
+    """The supervised chunk entry point: optionally misbehave, then
+    simulate the whole chunk and report its observed wall-time."""
+    if chaos is not None:
+        kind, seconds = chaos
+        if kind == "crash":
+            os._exit(3)
+        elif kind == "hang":
+            time.sleep(min(seconds, HANG_SLEEP_CAP))
+    started = time.monotonic()
+    results = _simulate_chunk(items, cutoff)
+    return time.monotonic() - started, results
 
 
 class SupervisedEvaluator(ParallelEvaluator):
@@ -197,10 +218,11 @@ class SupervisedEvaluator(ParallelEvaluator):
         workers: int = 2,
         policy: Optional[RetryPolicy] = None,
         chaos: Optional["HostChaosPlan"] = None,
+        delta: bool = True,
     ):
         super().__init__(
             compiled, profile, hints=hints, core_speeds=core_speeds,
-            cache=cache, workers=workers,
+            cache=cache, workers=workers, delta=delta,
         )
         self.policy = policy or RetryPolicy()
         self.policy.validate()
@@ -295,21 +317,28 @@ class SupervisedEvaluator(ParallelEvaluator):
     # -- the supervised batch ------------------------------------------------
 
     def _serial_one(self, position: int, total: int, layout: Layout,
-                    cutoff: Optional[int]) -> SimResult:
+                    cutoff: Optional[int],
+                    delta: Optional[DeltaMove] = None) -> SimResult:
         """In-process ground truth; a failure here is a real error."""
         self.stats.serial_fallbacks += 1
         try:
-            return SerialEvaluator._simulate(self, [layout], cutoff)[0]
+            return SerialEvaluator._simulate(self, [layout], cutoff,
+                                             [delta])[0]
         except Exception as exc:
             raise EvaluationError(position, total, exc) from exc
 
     def _simulate(
-        self, layouts: Sequence[Layout], cutoff: Optional[int]
+        self,
+        layouts: Sequence[Layout],
+        cutoff: Optional[int],
+        deltas: Optional[Sequence[Optional[DeltaMove]]] = None,
     ) -> List[SimResult]:
         if not layouts:
             return []
         policy = self.policy
         total = len(layouts)
+        if deltas is None:
+            deltas = [None] * total
         results: List[Optional[SimResult]] = [None] * total
         attempts = [0] * total
         profiler = prof.active()
@@ -326,7 +355,8 @@ class SupervisedEvaluator(ParallelEvaluator):
                 if self._serial_mode:
                     for index in pending:
                         results[index] = self._serial_one(
-                            index, total, layouts[index], cutoff
+                            index, total, layouts[index], cutoff,
+                            deltas[index],
                         )
                     break
                 # Tasks out of pool retries take the in-process path.
@@ -335,24 +365,37 @@ class SupervisedEvaluator(ParallelEvaluator):
                 ]
                 for index in exhausted:
                     results[index] = self._serial_one(
-                        index, total, layouts[index], cutoff
+                        index, total, layouts[index], cutoff, deltas[index]
                     )
                 pending = [i for i in pending if results[i] is None]
                 self._pending = pending
                 if not pending:
                     break
 
+                # The retry unit is a *chunk* (the same wave shape the
+                # unsupervised evaluator dispatches): one chaos token,
+                # deadline, and re-submission decision per chunk; retry
+                # attempts and fallbacks stay accounted per layout.
+                chunks = [
+                    pending[start:stop]
+                    for start, stop in _chunk_bounds(len(pending),
+                                                     self.workers)
+                ]
                 deadline = self._deadline()
                 failure: Optional[str] = None
                 futures = {}
                 try:
                     pool = self._pool()
-                    for index in pending:
-                        attempts[index] += 1
+                    for chunk_id, member_indices in enumerate(chunks):
                         token = self._chaos_token(deadline)
-                        futures[index] = pool.submit(
-                            _chaos_simulate, layouts[index], cutoff, token
+                        items = [
+                            (layouts[i], deltas[i]) for i in member_indices
+                        ]
+                        futures[chunk_id] = pool.submit(
+                            _chaos_simulate_chunk, items, cutoff, token
                         )
+                        for index in member_indices:
+                            attempts[index] += 1
                         self._dispatch_seq += 1
                         self.stats.dispatches += 1
                 except (BrokenProcessPool, OSError, RuntimeError):
@@ -360,13 +403,29 @@ class SupervisedEvaluator(ParallelEvaluator):
                     failure = "broken"
 
                 collected: List[int] = []
+
+                def harvest(member_indices, chunk_results, elapsed):
+                    nonlocal compute_ns, compute_count
+                    # One elapsed covers the whole chunk; the EWMA tracks
+                    # per-simulation time, so observe the average.
+                    self._observe(elapsed / max(1, len(member_indices)))
+                    compute_ns += int(elapsed * 1e9)
+                    compute_count += len(member_indices)
+                    for index, result in zip(member_indices, chunk_results):
+                        results[index] = result
+                        collected.append(index)
+
                 if failure is None:
                     started = time.monotonic()
-                    for rank, index in enumerate(pending):
-                        allowance = deadline * (1 + rank // self.workers)
+                    for rank, member_indices in enumerate(chunks):
+                        allowance = (
+                            deadline
+                            * len(member_indices)
+                            * (1 + rank // self.workers)
+                        )
                         remaining = started + allowance - time.monotonic()
                         try:
-                            elapsed, result = futures[index].result(
+                            elapsed, chunk_results = futures[rank].result(
                                 timeout=max(0.0, remaining)
                             )
                         except FutureTimeout:
@@ -375,31 +434,31 @@ class SupervisedEvaluator(ParallelEvaluator):
                         except BrokenProcessPool:
                             failure = "broken"
                             break
+                        except _ChunkItemError as exc:
+                            raise EvaluationError(
+                                member_indices[exc.offset], total, exc
+                            ) from exc
                         except Exception as exc:
-                            raise EvaluationError(index, total, exc) from exc
-                        self._observe(elapsed)
-                        compute_ns += int(elapsed * 1e9)
-                        compute_count += 1
-                        results[index] = result
-                        collected.append(index)
+                            raise EvaluationError(
+                                member_indices[0], total, exc
+                            ) from exc
+                        harvest(member_indices, chunk_results, elapsed)
                     if failure is not None:
                         # Harvest whatever else finished before the breach;
                         # a completed result is a completed result.
-                        for index in pending:
-                            if results[index] is not None:
+                        for rank, member_indices in enumerate(chunks):
+                            if results[member_indices[0]] is not None:
                                 continue
-                            future = futures.get(index)
+                            future = futures.get(rank)
                             if future is None or not future.done():
                                 continue
                             try:
-                                elapsed, result = future.result(timeout=0)
+                                elapsed, chunk_results = future.result(
+                                    timeout=0
+                                )
                             except Exception:
                                 continue
-                            self._observe(elapsed)
-                            compute_ns += int(elapsed * 1e9)
-                            compute_count += 1
-                            results[index] = result
-                            collected.append(index)
+                            harvest(member_indices, chunk_results, elapsed)
 
                 pending = [i for i in pending if results[i] is None]
                 self._pending = pending

@@ -8,7 +8,7 @@ from repro.schedule.anneal import (
     DirectedSimulatedAnnealing,
     directed_simulated_annealing,
 )
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 
 
 def small_config(seed=0, **overrides):
@@ -30,7 +30,7 @@ class TestSearch:
         result = directed_simulated_annealing(
             keyword_compiled, keyword_profile, num_cores=4, config=small_config()
         )
-        single = estimate_layout(
+        single = simulate(
             keyword_compiled,
             single_core_layout(keyword_compiled),
             keyword_profile,

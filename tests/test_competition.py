@@ -11,7 +11,7 @@ import pytest
 
 from repro.core import compile_program, profile_program, run_layout
 from repro.schedule.layout import Layout
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 
 # Two worker tasks compete for every Job object; each marks how many jobs
 # it won. A Job can only be won once (the winner clears `ready`).
@@ -126,7 +126,7 @@ class TestCompetingTasks:
     def test_simulator_handles_competition(self, competition):
         layout = Layout.single_core(competition.info.tasks)
         profile = profile_program(competition, ["10"])
-        estimate = estimate_layout(competition, layout, profile)
+        estimate = simulate(competition, layout, profile)
         real = run_layout(competition, layout, ["10"])
         assert estimate.finished
         error = abs(estimate.total_cycles - real.total_cycles) / real.total_cycles
@@ -138,7 +138,7 @@ class TestCompetingTasks:
         mapping["workerB"] = [2]
         layout = Layout.make(3, mapping)
         profile = profile_program(competition, ["10"])
-        estimate = estimate_layout(competition, layout, profile)
+        estimate = simulate(competition, layout, profile)
         assert estimate.finished
         sim_wins = estimate.invocations.get("workerA", 0) + estimate.invocations.get(
             "workerB", 0

@@ -7,7 +7,7 @@ from repro.schedule.critpath import (
     suggest_moves,
 )
 from repro.schedule.layout import Layout
-from repro.schedule.simulator import SimResult, TraceEvent, estimate_layout
+from repro.schedule.simulator import SimResult, TraceEvent, simulate
 
 
 def make_event(event_id, task, core, start, end, data_ready=None, inputs=()):
@@ -132,7 +132,7 @@ class TestMoveSuggestions:
 class TestRealTrace:
     def test_path_on_keyword_simulation(self, keyword_compiled, keyword_profile):
         layout = Layout.single_core(keyword_compiled.info.tasks)
-        result = estimate_layout(keyword_compiled, layout, keyword_profile)
+        result = simulate(keyword_compiled, layout, keyword_profile)
         path = compute_critical_path(result)
         assert path.total == result.total_cycles
         assert path.steps[0].event.task == "startup"

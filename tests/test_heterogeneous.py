@@ -14,7 +14,7 @@ from repro.core import (
 from repro.runtime.machine import MachineConfig
 from repro.schedule.anneal import AnnealConfig
 from repro.schedule.layout import Layout, core_speed, scale_duration
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 
 
 class TestSpeedHelpers:
@@ -56,7 +56,7 @@ class TestMachine:
 
     def test_simulator_models_speeds(self, keyword_compiled, keyword_profile):
         layout = single_core_layout(keyword_compiled)
-        estimate = estimate_layout(
+        estimate = simulate(
             keyword_compiled, layout, keyword_profile, core_speeds={0: 0.5}
         )
         real = run_layout(

@@ -103,10 +103,10 @@ class TestGraphFormatting:
 class TestVizEdgeCases:
     def test_trace_dot_without_path(self, keyword_compiled, keyword_profile):
         from repro.core import single_core_layout
-        from repro.schedule.simulator import estimate_layout
+        from repro.schedule.simulator import simulate
         from repro.viz import trace_to_dot
 
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled,
             single_core_layout(keyword_compiled),
             keyword_profile,
@@ -117,10 +117,10 @@ class TestVizEdgeCases:
 
     def test_render_trace_truncates(self, keyword_compiled, keyword_profile):
         from repro.core import single_core_layout
-        from repro.schedule.simulator import estimate_layout
+        from repro.schedule.simulator import simulate
         from repro.viz import render_trace
 
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled,
             single_core_layout(keyword_compiled),
             keyword_profile,

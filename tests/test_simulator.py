@@ -5,7 +5,7 @@ import pytest
 from repro.core import run_layout, single_core_layout
 from repro.runtime.profiler import ProfileData
 from repro.schedule.layout import Layout
-from repro.schedule.simulator import ExitChooser, SchedulingSimulator, estimate_layout
+from repro.schedule.simulator import ExitChooser, simulate
 
 
 def quad_layout(compiled):
@@ -66,7 +66,7 @@ class TestEstimates:
         self, keyword_compiled, keyword_profile
     ):
         layout = single_core_layout(keyword_compiled)
-        estimate = estimate_layout(keyword_compiled, layout, keyword_profile)
+        estimate = simulate(keyword_compiled, layout, keyword_profile)
         real = run_layout(keyword_compiled, layout, ["6"])
         error = abs(estimate.total_cycles - real.total_cycles) / real.total_cycles
         assert error < 0.05
@@ -75,7 +75,7 @@ class TestEstimates:
         self, keyword_compiled, keyword_profile
     ):
         layout = quad_layout(keyword_compiled)
-        estimate = estimate_layout(keyword_compiled, layout, keyword_profile)
+        estimate = simulate(keyword_compiled, layout, keyword_profile)
         real = run_layout(keyword_compiled, layout, ["6"])
         error = abs(estimate.total_cycles - real.total_cycles) / real.total_cycles
         assert error < 0.15
@@ -83,7 +83,7 @@ class TestEstimates:
     def test_invocation_counts_match_profile(
         self, keyword_compiled, keyword_profile
     ):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         assert result.invocations == {
@@ -95,7 +95,7 @@ class TestEstimates:
     def test_simulation_terminates_and_is_finished(
         self, keyword_compiled, keyword_profile
     ):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         assert result.finished
@@ -103,14 +103,14 @@ class TestEstimates:
 
     def test_deterministic(self, keyword_compiled, keyword_profile):
         layout = quad_layout(keyword_compiled)
-        first = estimate_layout(keyword_compiled, layout, keyword_profile)
-        second = estimate_layout(keyword_compiled, layout, keyword_profile)
+        first = simulate(keyword_compiled, layout, keyword_profile)
+        second = simulate(keyword_compiled, layout, keyword_profile)
         assert first.total_cycles == second.total_cycles
 
 
 class TestTrace:
     def test_trace_events_well_formed(self, keyword_compiled, keyword_profile):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         assert result.trace
@@ -120,7 +120,7 @@ class TestTrace:
             assert 0 <= event.core < 4
 
     def test_no_core_overlap(self, keyword_compiled, keyword_profile):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         for core in range(4):
@@ -131,7 +131,7 @@ class TestTrace:
     def test_data_edges_reference_earlier_events(
         self, keyword_compiled, keyword_profile
     ):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         by_id = {e.event_id: e for e in result.trace}
@@ -141,7 +141,7 @@ class TestTrace:
                     assert by_id[producer_id].end <= event.start
 
     def test_total_is_last_end(self, keyword_compiled, keyword_profile):
-        result = estimate_layout(
+        result = simulate(
             keyword_compiled, quad_layout(keyword_compiled), keyword_profile
         )
         assert result.total_cycles == max(e.end for e in result.trace)
@@ -149,11 +149,10 @@ class TestTrace:
 
 class TestStaleHandling:
     def test_max_events_marks_unfinished(self, keyword_compiled, keyword_profile):
-        sim = SchedulingSimulator(
+        result = simulate(
             keyword_compiled,
             single_core_layout(keyword_compiled),
             keyword_profile,
             max_events=3,
         )
-        result = sim.run()
         assert not result.finished

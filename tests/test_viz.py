@@ -4,7 +4,7 @@ from repro.core import annotated_cstg
 from repro.schedule.coregroup import build_group_graph, build_task_edges
 from repro.schedule.critpath import compute_critical_path
 from repro.schedule.layout import Layout
-from repro.schedule.simulator import estimate_layout
+from repro.schedule.simulator import simulate
 from repro.viz import (
     cstg_to_dot,
     render_critical_path,
@@ -28,7 +28,7 @@ def test_cstg_dot_structure(keyword_compiled, keyword_profile):
 
 def test_trace_dot_marks_critical_path(keyword_compiled, keyword_profile):
     layout = Layout.single_core(keyword_compiled.info.tasks)
-    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    result = simulate(keyword_compiled, layout, keyword_profile)
     path = compute_critical_path(result)
     dot = trace_to_dot(result, path)
     assert "color=red" in dot
@@ -46,7 +46,7 @@ def test_taskflow_dot(keyword_compiled, keyword_profile):
 
 def test_render_trace_text(keyword_compiled, keyword_profile):
     layout = Layout.single_core(keyword_compiled.info.tasks)
-    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    result = simulate(keyword_compiled, layout, keyword_profile)
     text = render_trace(result)
     assert "core 0:" in text
     assert "startup" in text
@@ -54,7 +54,7 @@ def test_render_trace_text(keyword_compiled, keyword_profile):
 
 def test_render_critical_path(keyword_compiled, keyword_profile):
     layout = Layout.single_core(keyword_compiled.info.tasks)
-    result = estimate_layout(keyword_compiled, layout, keyword_profile)
+    result = simulate(keyword_compiled, layout, keyword_profile)
     text = render_critical_path(compute_critical_path(result))
     assert "critical path" in text
 
