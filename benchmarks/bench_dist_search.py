@@ -1,0 +1,142 @@
+"""Wall-clock scaling of the distributed layout search.
+
+The experiment: the Figure-10 methodology's 25-restart DSA axis
+(``bench_fig10_dsa.DSA_STARTS``), run through :mod:`repro.search.dist`
+as one coordinator with 1, 2, and 4 local worker subprocesses, plus the
+single-host serial baseline. Every configuration must produce the
+identical merged result — distribution is purely a wall-clock knob —
+and the telemetry document (``benchmarks/out/dist_search.json``)
+records the walls, speedups, and dispatch accounting for trend
+tracking.
+
+Caveat on reading the numbers: "workers" here are subprocesses on the
+*same* host as the coordinator, so scaling tops out at the host's core
+count (and the CI runners are small); the interesting signal is the
+coordination overhead visible at ``workers=1`` versus the serial
+baseline, and that speedup is monotone as workers are added. Shards
+also give up the shared simulation cache a single-process restart loop
+threads through its restarts (isolation is what makes them pure), so
+serial-vs-dist walls are not purely transport overhead.
+"""
+
+import hashlib
+import time
+
+from conftest import emit
+from repro.bench import get_spec
+from repro.schedule.anneal import AnnealConfig
+from repro.search.dist import (
+    JobContext,
+    make_restart_shards,
+    run_dist_search,
+    run_serial_baseline,
+)
+from repro.viz import render_table
+from telemetry import write_telemetry
+
+BENCH = "Keyword"
+NUM_CORES = 16
+#: the Figure-10 restart count — the natural shard axis
+RESTARTS = 25
+WORKER_COUNTS = [1, 2, 4]
+
+TEMPLATE = AnnealConfig(
+    initial_candidates=1,
+    max_iterations=6,
+    max_evaluations=60,
+    patience=2,
+    continue_probability=0.3,
+)
+
+
+def build_job(ctx):
+    compiled = ctx.compiled(BENCH)
+    profile = ctx.profile(BENCH)
+    context = JobContext(
+        compiled=compiled,
+        profile=profile,
+        num_cores=NUM_CORES,
+        hints=get_spec(BENCH).hints,
+        source_digest=hashlib.sha256(
+            compiled.source.encode("utf-8")
+        ).hexdigest(),
+    )
+    shards = make_restart_shards(TEMPLATE, RESTARTS, base_seed=1234)
+    return context, shards
+
+
+def run_configurations(ctx):
+    context, shards = build_job(ctx)
+    runs = {}
+
+    started = time.perf_counter()
+    serial = run_serial_baseline(context, shards)
+    runs["serial"] = {
+        "wall_seconds": time.perf_counter() - started,
+        "key": serial.key(),
+        "stats": None,
+    }
+
+    for workers in WORKER_COUNTS:
+        result = run_dist_search(context, shards, workers=workers)
+        runs[f"workers={workers}"] = {
+            "wall_seconds": result.wall_seconds,
+            "key": result.key(),
+            "stats": result.stats,
+        }
+    return serial, runs
+
+
+def test_dist_search_scaling(benchmark, ctx):
+    serial, runs = benchmark.pedantic(
+        run_configurations, args=(ctx,), iterations=1, rounds=1
+    )
+
+    # Distribution is a wall-clock knob only: every configuration merged
+    # to the identical result, and no run lost or double-counted a shard.
+    for name, run in runs.items():
+        assert run["key"] == runs["serial"]["key"], name
+        if run["stats"] is not None:
+            assert run["stats"]["shards_completed"] == RESTARTS, name
+
+    serial_wall = runs["serial"]["wall_seconds"]
+    rows = []
+    for name, run in runs.items():
+        stats = run["stats"] or {}
+        rows.append(
+            [
+                name,
+                f"{run['wall_seconds']:.2f}s",
+                f"{serial_wall / run['wall_seconds']:.2f}x",
+                stats.get("workers_joined", "—"),
+                stats.get("dispatches", "—"),
+                stats.get("local_executions", "—"),
+            ]
+        )
+    table = render_table(
+        ["Config", "Wall", "Speedup", "Joined", "Dispatched", "Local"],
+        rows,
+    )
+
+    emit(
+        f"Distributed search scaling ({BENCH}, {RESTARTS} restarts, "
+        f"{NUM_CORES}-core target; workers are same-host subprocesses)",
+        table,
+    )
+    write_telemetry(
+        "dist_search",
+        {
+            "benchmark": BENCH,
+            "num_cores": NUM_CORES,
+            "restarts": RESTARTS,
+            "best_cycles": serial.best_cycles,
+            "configurations": {
+                name: {
+                    "wall_seconds": run["wall_seconds"],
+                    "speedup_vs_serial": serial_wall / run["wall_seconds"],
+                    "stats": run["stats"],
+                }
+                for name, run in runs.items()
+            },
+        },
+    )

@@ -29,6 +29,7 @@ The public API re-exports here, so typical use is just::
 
 from .core import (
     CompiledProgram,
+    DistOptions,
     RunOptions,
     SequentialResult,
     SynthesisOptions,
@@ -46,6 +47,7 @@ from .schedule import DeltaMove, SimResult, SimSession, simulate
 __all__ = [
     "CompiledProgram",
     "DeltaMove",
+    "DistOptions",
     "RunOptions",
     "SequentialResult",
     "SimResult",

@@ -77,6 +77,31 @@ Commands
     SIGKILL + restart) against a live daemon subprocess and exit nonzero
     if any serve-layer invariant (typed outcomes, result bit-identity,
     liveness, cache durability, degradation reporting) is violated.
+``dist-coordinator PROGRAM [ARGS...] --restarts N``
+    Decompose one synthesis job into N seeded annealing-restart shards
+    and coordinate them across workers (:mod:`repro.search.dist`):
+    every dispatched shard is held under an EWMA lease, expired leases
+    trigger work-stealing, and results merge in shard-id order — so the
+    report on stdout is byte-identical to ``--serial`` (the single-host
+    baseline) no matter how workers crash, hang, or disconnect.
+    ``--local-workers N`` spawns N worker subprocesses;
+    ``--expect-workers N`` waits for externally started ones instead.
+    ``--checkpoint FILE`` persists the merged frontier after every
+    completed shard and ``--resume`` continues a killed coordinator
+    bit-identically. ``--metrics-out``/``--prom-out`` export the
+    ``dist_*`` counters (JSON snapshot / ``repro_dist_*`` Prometheus
+    series); ``--chaos-crash/--chaos-hang/--chaos-expire SEQ`` inject
+    deterministic faults on dispatch SEQ (CI's dist-smoke uses these).
+``dist-worker --port N``
+    Serve shards to a coordinator until it says bye: stateless, killable
+    at any instant, reconnects with capped backoff on connection loss.
+``dist-chaos [N]``
+    Sweep N seeded distributed-search fault plans (worker SIGKILLs,
+    hangs, dropped/garbled connections, forced lease expiries, plus a
+    coordinator interrupt+resume phase) against real worker subprocesses
+    and exit nonzero if any invariant (termination, dist-vs-serial
+    bit-identity, exactly-once shard accounting, control-plan zero
+    activity) is violated.
 """
 
 from __future__ import annotations
@@ -323,6 +348,172 @@ def _cmd_serve_chaos(args: argparse.Namespace) -> int:
     from .serve.netchaos import run_net_chaos
 
     report = run_net_chaos(plans=args.plans, base_seed=args.seed)
+    print(report.describe())
+    if args.report:
+        import json
+
+        with open(args.report, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"[report: {args.report}]", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _resolve_program(target: str, args: List[str]):
+    """``TARGET`` as (source, label, args): a ``.bam`` file path or a
+    benchmark name (the benchmark's canonical args fill in when none are
+    given)."""
+    import os
+
+    if os.path.exists(target):
+        with open(target, "r") as handle:
+            return handle.read(), target, list(args)
+    if target in benchmark_names():
+        from .bench import get_spec, load_source
+
+        spec = get_spec(target)
+        return (
+            load_source(target),
+            spec.filename,
+            list(args) if args else list(spec.args),
+        )
+    raise BambooError(
+        f"{target!r} is neither a file nor a benchmark "
+        f"(benchmarks: {', '.join(benchmark_names())})"
+    )
+
+
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    from .search.dist import run_dist_worker
+
+    stats = run_dist_worker(
+        args.host,
+        args.port,
+        name=args.name,
+        idle_timeout=args.max_idle,
+        log=sys.stderr if args.verbose else None,
+    )
+    print(f"[dist worker: {stats.snapshot()}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+
+    from .obs.metrics import MetricsRegistry, build_search_metrics
+    from .schedule.anneal import AnnealConfig
+    from .search.dist import (
+        DistCoordinator,
+        JobContext,
+        LeasePolicy,
+        describe_dist_result,
+        make_restart_shards,
+        run_serial_baseline,
+    )
+
+    source, label, prog_args = _resolve_program(args.target, args.args)
+    compiled = compile_program(source, label, optimize=args.optimize)
+    profile = profile_program(compiled, prog_args)
+    context = JobContext(
+        compiled=compiled,
+        profile=profile,
+        num_cores=args.cores,
+        mesh_width=args.mesh_width,
+        delta=not args.no_delta_sim,
+        source_digest=hashlib.sha256(
+            "\x00".join([source] + prog_args).encode("utf-8")
+        ).hexdigest(),
+    )
+    template = AnnealConfig(
+        initial_candidates=args.initial_candidates,
+        max_iterations=args.max_iterations,
+        max_evaluations=args.max_evaluations,
+        patience=args.patience,
+        continue_probability=args.continue_probability,
+    )
+    shards = make_restart_shards(template, args.restarts, base_seed=args.seed)
+    registry = MetricsRegistry()
+    if args.serial:
+        result = run_serial_baseline(context, shards)
+    else:
+        chaos = None
+        if args.chaos_crash or args.chaos_hang or args.chaos_expire:
+            from .search.hostchaos import DistChaosPlan
+
+            chaos = DistChaosPlan.scripted(
+                crash=args.chaos_crash,
+                hang=args.chaos_hang,
+                expire=args.chaos_expire,
+                hang_seconds=2.0 * args.lease_floor,
+            )
+        coordinator = DistCoordinator(
+            context,
+            shards,
+            lease=LeasePolicy(
+                timeout_mult=args.lease_mult,
+                timeout_floor=args.lease_floor,
+                max_retries=args.max_retries,
+            ),
+            host=args.host,
+            port=args.port,
+            registry=registry,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            degrade_after=args.degrade_after,
+            expect_workers=args.expect_workers or args.local_workers,
+            chaos_plan=chaos,
+            announce=sys.stderr,
+        )
+        host, port = coordinator.start()
+        procs = []
+        try:
+            from .search.dist.worker import spawn_worker_process
+
+            for index in range(args.local_workers):
+                procs.append(spawn_worker_process(host, port, f"w{index}"))
+            result = coordinator.run()
+        finally:
+            coordinator.stop()
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait()
+    print(describe_dist_result(result))
+    if result.stats is not None:
+        print(f"[dist: {json.dumps(result.stats, sort_keys=True)}]",
+              file=sys.stderr)
+    print(f"[dist: {result.wall_seconds:.2f}s]", file=sys.stderr)
+    if args.metrics_out:
+        snapshot = build_search_metrics(
+            workers=0 if args.serial else max(
+                args.local_workers, args.expect_workers
+            ),
+            wall_seconds=result.wall_seconds,
+            evaluations=result.evaluations,
+            cache_hits=result.cache_hits,
+            pruned_evaluations=result.pruned_evaluations,
+            cache_stats=None,
+            registry=registry,
+            dist=result.stats,
+        )
+        with open(args.metrics_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        print(f"[dist metrics: {args.metrics_out}]", file=sys.stderr)
+    if args.prom_out:
+        from .obs.promexp import render_prometheus
+
+        with open(args.prom_out, "w") as handle:
+            handle.write(render_prometheus(registry))
+        print(f"[dist prometheus: {args.prom_out}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_dist_chaos(args: argparse.Namespace) -> int:
+    from .search.dist.chaos import run_dist_chaos
+
+    report = run_dist_chaos(plans=args.plans, base_seed=args.seed)
     print(report.describe())
     if args.report:
         import json
@@ -937,6 +1128,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable sweep report as JSON",
     )
     p_netchaos.set_defaults(func=_cmd_serve_chaos)
+
+    p_dco = sub.add_parser(
+        "dist-coordinator",
+        help="decompose a synthesis job into seeded restart shards and "
+             "coordinate them across workers (or run the serial baseline)",
+    )
+    p_dco.add_argument("target", metavar="PROGRAM",
+                       help="a .bam file or a benchmark name")
+    p_dco.add_argument("args", nargs="*", help="program arguments")
+    p_dco.add_argument("--cores", type=int, default=16)
+    p_dco.add_argument("--mesh-width", type=int, default=None)
+    p_dco.add_argument("--optimize", action="store_true")
+    p_dco.add_argument("--no-delta-sim", action="store_true")
+    p_dco.add_argument(
+        "--restarts", type=int, default=25,
+        help="independent annealing restarts = shards (default 25)",
+    )
+    p_dco.add_argument(
+        "--seed", type=int, default=1234,
+        help="base seed deriving every shard's search seed",
+    )
+    p_dco.add_argument("--initial-candidates", type=int, default=1)
+    p_dco.add_argument("--max-iterations", type=int, default=12)
+    p_dco.add_argument("--max-evaluations", type=int, default=70)
+    p_dco.add_argument("--patience", type=int, default=2)
+    p_dco.add_argument("--continue-probability", type=float, default=0.5)
+    p_dco.add_argument(
+        "--serial", action="store_true",
+        help="run the single-host serial baseline (no sockets); its "
+             "stdout is byte-identical to any distributed run's",
+    )
+    p_dco.add_argument(
+        "--local-workers", type=int, default=0, metavar="N",
+        help="spawn N local `dist-worker` subprocesses",
+    )
+    p_dco.add_argument(
+        "--expect-workers", type=int, default=0, metavar="N",
+        help="N externally started workers will attach; wait "
+             "--degrade-after seconds before degrading to local execution",
+    )
+    p_dco.add_argument("--host", default="127.0.0.1")
+    p_dco.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 = ephemeral; announced on stderr)",
+    )
+    p_dco.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="write the merged-frontier checkpoint here")
+    p_dco.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint (a different job's checkpoint "
+             "is refused)",
+    )
+    p_dco.add_argument("--degrade-after", type=float, default=10.0)
+    p_dco.add_argument("--lease-floor", type=float, default=10.0)
+    p_dco.add_argument("--lease-mult", type=float, default=8.0)
+    p_dco.add_argument("--max-retries", type=int, default=5)
+    p_dco.add_argument(
+        "--chaos-crash", type=int, action="append", default=[],
+        metavar="SEQ", help="inject a worker crash on dispatch SEQ",
+    )
+    p_dco.add_argument(
+        "--chaos-hang", type=int, action="append", default=[],
+        metavar="SEQ", help="inject a worker hang on dispatch SEQ",
+    )
+    p_dco.add_argument(
+        "--chaos-expire", type=int, action="append", default=[],
+        metavar="SEQ", help="force-expire the lease of dispatch SEQ",
+    )
+    p_dco.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the search metrics snapshot (JSON)")
+    p_dco.add_argument(
+        "--prom-out", metavar="FILE", default=None,
+        help="write the repro_dist_* series in Prometheus text format",
+    )
+    p_dco.set_defaults(func=_cmd_dist_coordinator)
+
+    p_dwk = sub.add_parser(
+        "dist-worker",
+        help="serve shards to a dist coordinator until it says bye",
+    )
+    p_dwk.add_argument("--host", default="127.0.0.1")
+    p_dwk.add_argument("--port", type=int, required=True)
+    p_dwk.add_argument("--name", default=None)
+    p_dwk.add_argument(
+        "--max-idle", type=float, default=300.0,
+        help="seconds of coordinator silence before giving up",
+    )
+    p_dwk.add_argument("--verbose", action="store_true")
+    p_dwk.set_defaults(func=_cmd_dist_worker)
+
+    p_dch = sub.add_parser(
+        "dist-chaos",
+        help="sweep seeded distributed-search fault plans (worker "
+             "crashes/hangs, dropped/garbled connections, forced lease "
+             "expiries, coordinator kill+resume) and exit nonzero on any "
+             "invariant violation",
+    )
+    p_dch.add_argument(
+        "plans", type=int, nargs="?", default=4,
+        help="number of seeded plans (plan 0 is the fault-free control)",
+    )
+    p_dch.add_argument("--seed", type=int, default=0)
+    p_dch.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the machine-readable sweep report as JSON",
+    )
+    p_dch.set_defaults(func=_cmd_dist_chaos)
 
     return parser
 

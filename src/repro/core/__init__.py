@@ -10,11 +10,12 @@ from .api import (
     run_sequential,
     single_core_layout,
 )
-from .options import RunOptions, SynthesisOptions
+from .options import DistOptions, RunOptions, SynthesisOptions
 from .pipeline import SynthesisReport, synthesize_layout
 
 __all__ = [
     "CompiledProgram",
+    "DistOptions",
     "RunOptions",
     "SequentialResult",
     "SynthesisOptions",

@@ -42,6 +42,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _UNSET = object()
 
 
+@dataclass
+class DistOptions:
+    """Knobs for the distributed layout search (:mod:`repro.search.dist`).
+
+    Setting :attr:`SynthesisOptions.dist` switches
+    :func:`repro.core.pipeline.synthesize_layout` from one annealing run
+    to ``restarts`` independent seeded restarts coordinated across
+    workers — merged in shard-id order, so the report is bit-identical
+    to running the same shard list serially on one host.
+    """
+
+    #: independent annealing restarts — the shard axis
+    restarts: int = 25
+    #: base seed deriving every shard's search seed
+    base_seed: int = 1234
+    #: local ``dist-worker`` subprocesses to spawn (0 = every shard runs
+    #: in the coordinator process, still through the shard machinery)
+    workers: int = 0
+    #: lease/steal policy; None = :class:`repro.search.dist.LeasePolicy`
+    #: defaults
+    lease: Optional[object] = None
+    #: write the merged-frontier checkpoint here after completed shards
+    checkpoint_path: Optional[str] = None
+    #: resume from ``checkpoint_path`` (a different job's checkpoint is
+    #: refused with a typed error)
+    resume: bool = False
+    #: seconds the worker set may sit empty before shards run locally
+    degrade_after: float = 10.0
+
+
 #: release in which the deprecated keyword shims (and the legacy
 #: simulator entry points) are scheduled for removal
 SHIM_REMOVAL_VERSION = "0.9"
@@ -109,6 +139,11 @@ class SynthesisOptions:
     resume: Optional[str] = None
     #: inject host-level worker faults (testing; forces supervision)
     host_chaos: Optional["HostChaosPlan"] = None
+    #: distribute the search as independent seeded restarts across
+    #: workers (:mod:`repro.search.dist`); most single-run knobs above
+    #: (workers, cache sharing, supervision, checkpointing) are then
+    #: per-shard concerns handled by the dist layer instead
+    dist: Optional[DistOptions] = None
     #: zero-argument callable polled at iteration boundaries; returning
     #: true raises :class:`repro.schedule.anneal.SearchCancelled` and the
     #: search stops cleanly. Installed by the serving layer's request

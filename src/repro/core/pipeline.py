@@ -56,6 +56,87 @@ class SynthesisReport:
     search_metrics: Dict[str, object] = field(default_factory=dict)
 
 
+def _synthesize_dist(
+    compiled: CompiledProgram,
+    profile: ProfileData,
+    num_cores: int,
+    options: SynthesisOptions,
+) -> SynthesisReport:
+    """The distributed path: ``options.dist.restarts`` independent seeded
+    annealing restarts, coordinated by :mod:`repro.search.dist` and
+    merged in shard-id order. The report's deterministic fields are
+    bit-identical to a single-host serial run of the same shard list."""
+    import hashlib
+
+    from ..obs.metrics import MetricsRegistry, build_search_metrics
+    from ..schedule.rules import suggest_replicas
+    from ..search.dist import (
+        JobContext,
+        make_restart_shards,
+        run_dist_search,
+    )
+
+    dist = options.dist
+    started = _time.perf_counter()
+    with prof.phase(_P_CSTG):
+        cstg = annotated_cstg(compiled, profile)
+    with prof.phase(_P_GROUP_GRAPH):
+        graph = build_group_graph(compiled.info, cstg, profile)
+    with prof.phase(_P_REPLICAS):
+        suggestions = suggest_replicas(compiled.info, graph, profile, num_cores)
+
+    registry = options.metrics if options.metrics is not None else MetricsRegistry()
+    context = JobContext(
+        compiled=compiled,
+        profile=profile,
+        num_cores=num_cores,
+        hints=options.hints,
+        mesh_width=options.mesh_width,
+        core_speeds=options.core_speeds,
+        delta=options.delta_sim,
+        source_digest=hashlib.sha256(
+            compiled.source.encode("utf-8")
+        ).hexdigest(),
+    )
+    shards = make_restart_shards(
+        options.effective_anneal(), dist.restarts, base_seed=dist.base_seed
+    )
+    result = run_dist_search(
+        context,
+        shards,
+        workers=dist.workers,
+        lease=dist.lease,
+        registry=registry,
+        checkpoint_path=dist.checkpoint_path,
+        resume=dist.resume,
+        degrade_after=dist.degrade_after,
+    )
+    wall = _time.perf_counter() - started
+    return SynthesisReport(
+        layout=result.best_layout,
+        estimated_cycles=result.best_cycles,
+        evaluations=result.evaluations,
+        iterations=sum(shard.iterations for shard in result.shards),
+        wall_seconds=wall,
+        group_graph=graph,
+        suggestions=suggestions,
+        history=list(result.trajectory),
+        cache_hits=result.cache_hits,
+        requested_evaluations=result.requested_evaluations,
+        pruned_evaluations=result.pruned_evaluations,
+        search_metrics=build_search_metrics(
+            workers=dist.workers,
+            wall_seconds=wall,
+            evaluations=result.evaluations,
+            cache_hits=result.cache_hits,
+            pruned_evaluations=result.pruned_evaluations,
+            cache_stats=None,
+            registry=registry,
+            dist=result.stats,
+        ),
+    )
+
+
 def synthesize_layout(
     compiled: CompiledProgram,
     profile: ProfileData,
@@ -117,6 +198,8 @@ def _synthesize(
     num_cores: int,
     options: SynthesisOptions,
 ) -> SynthesisReport:
+    if options.dist is not None:
+        return _synthesize_dist(compiled, profile, num_cores, options)
     started = _time.perf_counter()
     with prof.phase(_P_CSTG):
         cstg = annotated_cstg(compiled, profile)

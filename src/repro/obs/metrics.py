@@ -230,6 +230,7 @@ def build_search_metrics(
     supervision: Optional[Dict[str, object]] = None,
     checkpoints_written: int = 0,
     events: Optional[Sequence[object]] = None,
+    dist: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The JSON-ready metrics snapshot of one layout-search run.
 
@@ -247,6 +248,12 @@ def build_search_metrics(
     (``WorkerRetry``/``PoolRebuild``/``CheckpointWritten``) the run
     emitted; both deliberately carry no wall-clock fields, so fault-free
     snapshots stay byte-comparable across runs.
+
+    ``dist`` is the distributed-search coordinator summary
+    (:meth:`repro.search.dist.DistStats.snapshot`, ``None`` for
+    single-host runs) — counters only, same no-wall-clock rule; the
+    matching ``dist_*`` registry counters export as ``repro_dist_*``
+    Prometheus series through :mod:`repro.obs.promexp`.
     """
     requested = evaluations + cache_hits
     snapshot: Dict[str, object] = {
@@ -260,6 +267,7 @@ def build_search_metrics(
         "cache_hit_rate": cache_hits / requested if requested else 0.0,
         "sim_cache": cache_stats,
         "supervision": supervision,
+        "dist": dist,
         "checkpoints_written": checkpoints_written,
         "events": [
             event.to_json() if hasattr(event, "to_json") else event

@@ -34,6 +34,14 @@ resilience of :mod:`repro.resilience`):
   worker crashes and hangs and machine-checking the supervision
   invariants.
 
+One level above worker processes, :mod:`repro.search.dist` distributes
+whole *annealing restarts* across multiple hosts: a fault-tolerant
+coordinator/worker protocol with leases, work-stealing, and frontier
+checkpointing whose merged result is bit-identical to a single-host
+serial run (its own chaos harness, :mod:`repro.search.dist.chaos`,
+machine-checks that). The shared backoff/jitter arithmetic all three
+retry layers use lives in :mod:`repro.search.retry`.
+
 The user-facing switchboard is :class:`repro.SynthesisOptions`
 (``workers=``, ``sim_cache=``, ``cache=``, ``cache_entries=``,
 ``supervise=``, ``checkpoint_path=``, ``resume=``, ``host_chaos=``).
@@ -65,6 +73,8 @@ from .storage import (
     write_record,
 )
 from .hostchaos import (
+    DistChaosPlan,
+    DistFault,
     HostChaosPlan,
     HostChaosReport,
     HostChaosRun,
@@ -78,6 +88,8 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CacheEntry",
     "CheckpointError",
+    "DistChaosPlan",
+    "DistFault",
     "EvaluationError",
     "Evaluator",
     "HostChaosPlan",

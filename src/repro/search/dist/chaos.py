@@ -1,0 +1,557 @@
+"""Distributed-search chaos: seeded multi-host fault plans, checked
+invariants.
+
+The top rung of the fault-layer ladder (``docs/RESILIENCE.md``): below
+this, :mod:`repro.resilience.chaos` breaks the *simulated* machine,
+:mod:`repro.search.hostchaos` breaks worker *processes* inside one
+search, and :mod:`repro.serve.netchaos` breaks the daemon's *network*.
+This harness breaks whole worker **hosts** and the links between them —
+against real ``repro dist-worker`` subprocesses — and machine-checks:
+
+* **Termination** — every chaos run completes (leases + bounded retries
+  + local degradation guarantee it by construction).
+* **Dist-vs-serial bit-identity** — the merged
+  :class:`~repro.search.dist.shards.DistResult` key (every shard result,
+  the incumbent trajectory, the winning layout) equals the single-host
+  serial baseline's, whatever crashed, hung, dropped, or garbled.
+* **Exactly-once shard accounting** — the
+  :meth:`~repro.search.dist.coordinator.DistStats.check_accounting`
+  identity holds: every dispatch reaches exactly one terminal state.
+* **Control-plan zero activity** — plan 0 (empty) records no steals,
+  retries, failures, duplicates, injections, or degradation.
+
+A separate **interrupt + resume** phase abandons a coordinator
+mid-frontier (no shutdown, exactly what SIGKILL leaves behind: the
+checkpoint file) and checks that a resumed coordinator completes only
+the missing shards and merges to the identical key — and that a
+checkpoint from a *different* job is refused with a typed error.
+
+Fault transport: dispatch faults (``crash_worker``/``hang_worker``/
+``expire_lease``) ride shard messages through the coordinator's own
+chaos hook; wire faults (``drop_conn``/``garble``) fire in
+:class:`DistChaosProxy`, a full-duplex cousin of
+:class:`repro.serve.netchaos.ChaosProxy` (that one is request/response
+lockstep; the dist protocol pushes coordinator→worker messages
+unprompted, so the proxy pumps each direction independently);
+``kill_worker`` is a literal ``SIGKILL`` of a worker subprocess mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import struct
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hostchaos import DistChaosPlan
+from .coordinator import DistCoordinator, DistError, LeasePolicy
+from .shards import JobContext, ShardSpec, run_serial_baseline
+from .worker import spawn_worker_process
+
+#: seconds before a chaos run is declared hung (a termination violation)
+RUN_DEADLINE = 180.0
+
+_GARBAGE = b"\x16\x03\x01 not a dist message \xff\xfe\n"
+
+
+class DistChaosProxy:
+    """A full-duplex TCP proxy injecting wire faults between workers and
+    a coordinator.
+
+    Worker→coordinator bytes pass through untouched; coordinator→worker
+    *messages* (newline-framed) advance one global sequence shared
+    across connections, and when the armed plan designates the current
+    message the proxy misbehaves: ``drop_conn`` hard-drops both sides
+    with an RST, ``garble`` substitutes undecodable bytes. Either way
+    the worker reconnects (through the proxy again) and the coordinator
+    re-dispatches — the invariants say neither can change the result.
+    """
+
+    def __init__(self, upstream_port: int, host: str = "127.0.0.1"):
+        self.host = host
+        self._upstream_port = upstream_port
+        self._plan: Optional[DistChaosPlan] = None
+        self._lock = threading.Lock()
+        self._sequence = 0
+        #: (message, kind) pairs that actually fired since the last arm()
+        self.fired: List[Tuple[int, str]] = []
+        self._closing = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(16)
+        self.port = self._listener.getsockname()[1]
+        threading.Thread(
+            target=self._accept_loop, name="dist-chaos-accept", daemon=True
+        ).start()
+
+    def arm(self, plan: Optional[DistChaosPlan]) -> None:
+        with self._lock:
+            self._plan = plan
+            self._sequence = 0
+            self.fired = []
+
+    def set_upstream(self, port: int) -> None:
+        """Re-points the proxy at a fresh coordinator (one per plan)."""
+        with self._lock:
+            self._upstream_port = port
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- internals -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle,
+                args=(client,),
+                name="dist-chaos-conn",
+                daemon=True,
+            ).start()
+
+    def _next_fault(self) -> Optional[str]:
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+            plan = self._plan
+            if plan is None:
+                return None
+            kind = plan.wire_fault(sequence)
+            if kind is not None:
+                self.fired.append((sequence, kind))
+            return kind
+
+    def _handle(self, client: socket.socket) -> None:
+        with self._lock:
+            upstream_port = self._upstream_port
+        try:
+            upstream = socket.create_connection(
+                (self.host, upstream_port), timeout=5.0
+            )
+        except OSError:
+            client.close()
+            return
+
+        def closer() -> None:
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+        def pump_up() -> None:
+            # worker → coordinator: raw passthrough
+            try:
+                while True:
+                    chunk = client.recv(65536)
+                    if not chunk:
+                        break
+                    upstream.sendall(chunk)
+            except OSError:
+                pass
+            closer()
+
+        def pump_down() -> None:
+            # coordinator → worker: one fault decision per message line
+            reader = upstream.makefile("rb")
+            try:
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    kind = self._next_fault()
+                    if kind is None:
+                        client.sendall(line)
+                        continue
+                    if kind == "drop_conn":
+                        # RST instead of FIN: the hard drop.
+                        client.setsockopt(
+                            socket.SOL_SOCKET,
+                            socket.SO_LINGER,
+                            struct.pack("ii", 1, 0),
+                        )
+                        break
+                    # "garble": undecodable bytes where a message was due
+                    client.sendall(_GARBAGE)
+                    break
+            except OSError:
+                pass
+            closer()
+
+        threading.Thread(target=pump_up, daemon=True).start()
+        pump_down()
+
+
+# -- sweep bookkeeping ---------------------------------------------------------
+
+
+@dataclass
+class DistChaosRun:
+    """Outcome of one plan."""
+
+    index: int
+    seed: int
+    plan: DistChaosPlan
+    stats: Optional[Dict[str, object]] = None
+    wire_fired: List[Tuple[int, str]] = field(default_factory=list)
+    error: Optional[str] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.violations
+
+
+@dataclass
+class DistChaosReport:
+    """Outcome of a full dist-chaos sweep (plans + resume phase)."""
+
+    runs: List[DistChaosRun]
+    resume_violations: List[str] = field(default_factory=list)
+    resumed_shards: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.resume_violations and all(run.ok for run in self.runs)
+
+    def violations(self) -> List[str]:
+        lines: List[str] = []
+        for run in self.runs:
+            if run.error is not None:
+                lines.append(f"plan {run.index} (seed {run.seed}): {run.error}")
+            for violation in run.violations:
+                lines.append(
+                    f"plan {run.index} (seed {run.seed}): {violation}"
+                )
+        lines.extend(f"resume phase: {line}" for line in self.resume_violations)
+        return lines
+
+    def total(self, counter: str) -> int:
+        return sum(
+            int(run.stats.get(counter, 0))
+            for run in self.runs
+            if run.stats is not None
+        )
+
+    def describe(self) -> str:
+        lines = [f"dist chaos: {len(self.runs)} plan(s)"]
+        for run in self.runs:
+            status = "ok" if run.ok else "FAIL"
+            lines.append(f"  plan {run.index}: {run.plan.describe()} [{status}]")
+        lines.append(
+            f"totals: {self.total('dispatches')} dispatch(es), "
+            f"{self.total('steals')} steal(s), "
+            f"{self.total('retries')} retry(ies), "
+            f"{self.total('duplicates_discarded')} duplicate(s) discarded, "
+            f"{self.total('worker_crashes')} crash(es), "
+            f"{self.total('worker_hangs')} hang(s), "
+            f"{self.total('worker_disconnects')} disconnect(s), "
+            f"{self.total('garbled_messages')} garbled"
+        )
+        lines.append(
+            f"resume phase: {self.resumed_shards} shard(s) resumed from the "
+            "frontier checkpoint"
+        )
+        bad = self.violations()
+        if bad:
+            lines.append(f"INVARIANT VIOLATIONS ({len(bad)}):")
+            lines.extend(f"  {line}" for line in bad)
+        else:
+            lines.append(
+                "all invariants held: termination, dist-vs-serial "
+                "bit-identity, exactly-once shard accounting, control-plan "
+                "zero activity, checkpointed resume"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.search/dist-chaos-report-v1",
+            "ok": self.ok,
+            "plans": [
+                {
+                    "index": run.index,
+                    "seed": run.seed,
+                    "plan": run.plan.describe(),
+                    "ok": run.ok,
+                    "stats": run.stats,
+                    "wire_fired": [list(pair) for pair in run.wire_fired],
+                    "error": run.error,
+                    "violations": run.violations,
+                }
+                for run in self.runs
+            ],
+            "resumed_shards": self.resumed_shards,
+            "violations": self.violations(),
+        }
+
+
+#: the control plan must show exactly zero of each of these
+_CONTROL_ZERO = (
+    "steals",
+    "retries",
+    "dispatch_failures",
+    "duplicates_discarded",
+    "abandoned",
+    "lease_expiries",
+    "worker_crashes",
+    "worker_disconnects",
+    "worker_hangs",
+    "garbled_messages",
+    "local_only_shards",
+    "injected_crashes",
+    "injected_hangs",
+    "forced_lease_expiries",
+    "resumed_shards",
+)
+
+
+def _check_run(run: DistChaosRun, result, baseline, check_accounting) -> None:
+    if result.key() != baseline.key():
+        run.violations.append(
+            "chaos result diverged from the serial baseline "
+            f"({result.best_cycles} vs {baseline.best_cycles} cycles)"
+        )
+    run.violations.extend(check_accounting())
+    stats = run.stats or {}
+    if run.plan.is_empty():
+        activity = {
+            name: int(stats.get(name, 0))
+            for name in _CONTROL_ZERO
+            if int(stats.get(name, 0))
+        }
+        if activity:
+            run.violations.append(
+                f"control plan recorded fault activity: {activity}"
+            )
+        if stats.get("degraded"):
+            run.violations.append("control plan degraded to local execution")
+    else:
+        fired = (
+            int(stats.get("injected_crashes", 0))
+            + int(stats.get("injected_hangs", 0))
+            + int(stats.get("forced_lease_expiries", 0))
+            + len(run.wire_fired)
+            + (1 if run.plan.kill_worker else 0)
+        )
+        if fired == 0:
+            run.violations.append(
+                "no planned fault fired (horizon too large for workload?)"
+            )
+
+
+def _run_plan(
+    run: DistChaosRun,
+    context: JobContext,
+    shards: List[ShardSpec],
+    baseline,
+    lease: LeasePolicy,
+    workers: int,
+    proxy: DistChaosProxy,
+) -> None:
+    coordinator = DistCoordinator(
+        context,
+        shards,
+        lease=lease,
+        expect_workers=workers,
+        degrade_after=30.0,
+        chaos_plan=None if run.plan.is_empty() else run.plan,
+    )
+    proxy.arm(run.plan)
+    _, port = coordinator.start()
+    proxy.set_upstream(port)
+    procs = []
+    outcome: Dict[str, object] = {}
+
+    def drive() -> None:
+        try:
+            outcome["result"] = coordinator.run()
+        except Exception as exc:  # noqa: BLE001 - verdict, not control flow
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+
+    def killer() -> None:
+        # SIGKILL one whole worker once the job is demonstrably underway.
+        deadline = time.monotonic() + RUN_DEADLINE
+        while time.monotonic() < deadline:
+            if coordinator.stats.shards_completed >= 1:
+                break
+            time.sleep(0.05)
+        if procs and procs[0].poll() is None:
+            os.kill(procs[0].pid, signal.SIGKILL)
+
+    try:
+        for index in range(workers):
+            # Workers dial the proxy, not the coordinator.
+            procs.append(
+                spawn_worker_process(proxy.host, proxy.port, f"w{index}")
+            )
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        if run.plan.kill_worker:
+            threading.Thread(target=killer, daemon=True).start()
+        driver.join(timeout=RUN_DEADLINE)
+        if driver.is_alive():
+            run.error = f"did not terminate within {RUN_DEADLINE:.0f}s"
+            return
+    finally:
+        coordinator.stop()
+        proxy.arm(None)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+    if "error" in outcome:
+        run.error = str(outcome["error"])
+        return
+    result = outcome["result"]
+    run.stats = coordinator.stats.snapshot()
+    run.wire_fired = list(proxy.fired)
+    _check_run(run, result, baseline, coordinator.stats.check_accounting)
+
+
+def _resume_phase(
+    context: JobContext,
+    shards: List[ShardSpec],
+    baseline,
+    lease: LeasePolicy,
+    report: DistChaosReport,
+) -> None:
+    """Abandon a coordinator mid-frontier, resume from its checkpoint."""
+    interrupt_after = min(2, len(shards) - 1)
+    with tempfile.TemporaryDirectory(prefix="repro-dist-chaos-") as tmp:
+        path = os.path.join(tmp, "frontier.ckpt")
+        first = DistCoordinator(
+            context,
+            shards,
+            lease=lease,
+            checkpoint_path=path,
+            expect_workers=0,
+        )
+        # Complete a frontier prefix locally, then walk away without any
+        # shutdown — the checkpoint file is all a SIGKILL would leave.
+        while first.stats.shards_completed < interrupt_after:
+            if not first._maybe_run_local():
+                report.resume_violations.append(
+                    "interrupted coordinator ran out of local shards early"
+                )
+                return
+        if first.stats.frontier_checkpoints < 1:
+            report.resume_violations.append(
+                "no frontier checkpoint written before the interrupt"
+            )
+        second = DistCoordinator(
+            context,
+            shards,
+            lease=lease,
+            checkpoint_path=path,
+            resume=True,
+            expect_workers=0,
+        )
+        result = second.run()
+        report.resumed_shards = second.stats.resumed_shards
+        if second.stats.resumed_shards != interrupt_after:
+            report.resume_violations.append(
+                f"expected {interrupt_after} resumed shard(s), got "
+                f"{second.stats.resumed_shards}"
+            )
+        if result.key() != baseline.key():
+            report.resume_violations.append(
+                "resumed result diverged from the serial baseline"
+            )
+        # A checkpoint from a *different* job must be refused, typed.
+        foreign = shards[:-1]
+        try:
+            DistCoordinator(
+                context,
+                foreign,
+                lease=lease,
+                checkpoint_path=path,
+                resume=True,
+                expect_workers=0,
+            )
+        except DistError:
+            pass
+        else:
+            report.resume_violations.append(
+                "a foreign job's frontier checkpoint was accepted"
+            )
+
+
+def run_dist_chaos(
+    plans: int = 4,
+    base_seed: int = 0,
+    restarts: int = 6,
+    workers: int = 2,
+) -> DistChaosReport:
+    """Runs a full dist-chaos sweep and returns the per-plan verdicts.
+
+    Builds a small in-process workload (the ``Keyword`` benchmark), runs
+    the single-host serial baseline once, then every plan against
+    ``workers`` real worker subprocesses behind a fault-injecting proxy.
+    Like the other chaos harnesses, nothing raises on violation — the
+    report carries the verdicts.
+    """
+    import hashlib
+
+    from ...bench import get_spec, load_source
+    from ...core import compile_program, profile_program
+    from ...schedule.anneal import AnnealConfig
+    from .shards import make_restart_shards
+
+    spec = get_spec("Keyword")
+    source = load_source("Keyword")
+    prog_args = ["8"]
+    compiled = compile_program(source, spec.filename)
+    profile = profile_program(compiled, prog_args)
+    context = JobContext(
+        compiled=compiled,
+        profile=profile,
+        num_cores=4,
+        source_digest=hashlib.sha256(
+            "\x00".join([source] + prog_args).encode("utf-8")
+        ).hexdigest(),
+    )
+    template = AnnealConfig(
+        initial_candidates=1,
+        max_iterations=3,
+        max_evaluations=30,
+        patience=2,
+        continue_probability=0.2,
+    )
+    shard_list = make_restart_shards(template, restarts, base_seed=1234)
+    # A short lease floor so injected hangs (hang_seconds > floor) breach
+    # their leases quickly; shards take well under a second each.
+    lease = LeasePolicy(timeout_floor=2.0, timeout_mult=8.0)
+    baseline = run_serial_baseline(context, shard_list)
+
+    report = DistChaosReport(runs=[])
+    proxy = DistChaosProxy(upstream_port=0)
+    try:
+        for index in range(plans):
+            seed = base_seed + index
+            plan = DistChaosPlan.make(
+                index, seed, horizon=restarts, hang_seconds=3.0
+            )
+            run = DistChaosRun(index=index, seed=seed, plan=plan)
+            _run_plan(
+                run, context, shard_list, baseline, lease, workers, proxy
+            )
+            report.runs.append(run)
+        _resume_phase(context, shard_list, baseline, lease, report)
+    finally:
+        proxy.close()
+    return report

@@ -94,6 +94,147 @@ class HostChaosPlan:
         return f"host chaos: {len(self.faults)} fault(s): {parts}"
 
 
+@dataclass(frozen=True)
+class DistFault:
+    """One injected distributed-search misbehavior.
+
+    ``key`` indexes either the coordinator's global dispatch sequence
+    (dispatch faults) or the chaos proxy's downstream message sequence
+    (wire faults), so — like :class:`HostFault` — a plan is pure data.
+    """
+
+    key: int
+    kind: str  # dispatch: crash_worker | hang_worker | expire_lease
+    #          # wire:     drop_conn | garble
+    param: Optional[float] = None
+
+
+#: faults the coordinator injects itself, keyed by dispatch seq
+DIST_DISPATCH_KINDS = ("crash_worker", "hang_worker", "expire_lease")
+#: faults the chaos proxy injects in transit, keyed by message seq
+DIST_WIRE_KINDS = ("drop_conn", "garble")
+
+
+@dataclass(frozen=True)
+class DistChaosPlan:
+    """A seeded set of faults for one distributed search — the host-chaos
+    idea one level up: instead of misbehaving worker *processes* inside
+    one search, whole worker *hosts* and their connections misbehave.
+
+    Dispatch faults ride on shard messages (the worker crashes hard or
+    hangs past its lease; the coordinator force-expires a lease); wire
+    faults fire in the proxy between the two (connection dropped with an
+    RST, a message garbled in transit); ``kill_worker`` tells the
+    harness to SIGKILL one worker process externally mid-run. Plan 0 of
+    every sweep is empty — the control.
+    """
+
+    dispatch_faults: Tuple[DistFault, ...] = ()
+    wire_faults: Tuple[DistFault, ...] = ()
+    kill_worker: bool = False
+    seed: int = 0
+
+    @classmethod
+    def make(
+        cls,
+        index: int,
+        seed: int,
+        horizon: int,
+        hang_seconds: float = 3.0,
+        max_faults: int = 2,
+    ) -> "DistChaosPlan":
+        """Builds the ``index``-th plan of a sweep. ``horizon`` should be
+        the shard count: with one dispatch per shard guaranteed, every
+        designated id in ``1..horizon`` is reached. Fault families rotate
+        on fixed strides (like :class:`repro.serve.netchaos.NetChaosPlan`)
+        so even a 4-plan sweep exercises dispatch faults, wire faults,
+        and an external worker SIGKILL."""
+        if index == 0:
+            return cls(seed=seed)
+        rng = random.Random(seed)
+        horizon = max(1, horizon)
+        count = rng.randint(1, max(1, min(max_faults, horizon)))
+        picks = rng.sample(range(1, horizon + 1), min(horizon, count))
+        dispatch = tuple(
+            DistFault(
+                key=pick,
+                kind=rng.choice(DIST_DISPATCH_KINDS),
+                param=hang_seconds,
+            )
+            for pick in sorted(picks)
+        )
+        wire: Tuple[DistFault, ...] = ()
+        if index % 2 == 0:
+            wire = tuple(
+                DistFault(
+                    key=pick, kind=rng.choice(DIST_WIRE_KINDS)
+                )
+                for pick in sorted(
+                    rng.sample(range(1, horizon + 1), min(horizon, 2))
+                )
+            )
+        return cls(
+            dispatch_faults=dispatch,
+            wire_faults=wire,
+            kill_worker=index % 3 == 2,
+            seed=seed,
+        )
+
+    @classmethod
+    def scripted(
+        cls,
+        crash=(),
+        hang=(),
+        expire=(),
+        hang_seconds: float = 3.0,
+    ) -> "DistChaosPlan":
+        """A hand-written plan from explicit dispatch ids — what the
+        CLI's ``--chaos-crash/--chaos-hang/--chaos-expire`` flags and the
+        CI dist-smoke job build."""
+        faults = tuple(
+            [DistFault(key=s, kind="crash_worker") for s in crash]
+            + [
+                DistFault(key=s, kind="hang_worker", param=hang_seconds)
+                for s in hang
+            ]
+            + [DistFault(key=s, kind="expire_lease") for s in expire]
+        )
+        return cls(dispatch_faults=faults)
+
+    def dispatch_fault(self, seq: int) -> Optional[Tuple[str, Optional[float]]]:
+        """The coordinator's hook: the fault riding on dispatch ``seq``."""
+        for fault in self.dispatch_faults:
+            if fault.key == seq:
+                return fault.kind, fault.param
+        return None
+
+    def wire_fault(self, seq: int) -> Optional[str]:
+        """The proxy's hook: the fault for downstream message ``seq``."""
+        for fault in self.wire_faults:
+            if fault.key == seq:
+                return fault.kind
+        return None
+
+    def is_empty(self) -> bool:
+        return not (
+            self.dispatch_faults or self.wire_faults or self.kill_worker
+        )
+
+    def describe(self) -> str:
+        if self.is_empty():
+            return "dist chaos: empty plan (control)"
+        parts = [
+            f"{fault.kind}@{fault.key}"
+            for fault in sorted(
+                self.dispatch_faults + self.wire_faults,
+                key=lambda f: (f.key, f.kind),
+            )
+        ]
+        if self.kill_worker:
+            parts.append("kill_worker")
+        return f"dist chaos: {len(parts)} fault(s): {', '.join(parts)}"
+
+
 @dataclass
 class HostChaosRun:
     """Outcome of one plan."""

@@ -138,6 +138,103 @@ def read_record(
     return header, payload
 
 
+def pack_record(
+    fmt: str,
+    payload: bytes,
+    extra_header: Optional[Dict[str, object]] = None,
+) -> bytes:
+    """The in-memory twin of :func:`write_record`: one header line plus
+    the payload, as bytes. Used by the dist wire protocol, so a shard
+    payload crossing a socket carries the same format name and sha256
+    digest it would carry on disk."""
+    header: Dict[str, object] = dict(extra_header or {})
+    header["format"] = fmt
+    header["digest"] = payload_digest(payload)
+    return (
+        json.dumps(header, sort_keys=True).encode("ascii") + b"\n" + payload
+    )
+
+
+def unpack_record(
+    data: bytes,
+    fmt: str,
+    kind: str = "record",
+    long_kind: Optional[str] = None,
+    name: str = "<wire>",
+) -> Tuple[Dict[str, object], bytes]:
+    """Verifies one in-memory record; returns ``(header, payload)``.
+
+    Raises the same coded :class:`StorageError` family as
+    :func:`read_record`, with ``name`` standing in for the file path in
+    diagnostics (e.g. the sending peer).
+    """
+    long_kind = long_kind or kind
+    header_line, sep, payload = data.partition(b"\n")
+    try:
+        header = json.loads(header_line.decode("ascii"))
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except (UnicodeDecodeError, ValueError):
+        raise StorageError(
+            f"{name!r} is not a {long_kind}", code="not_record"
+        )
+    if not sep:
+        raise StorageError(
+            f"{name!r} is truncated: no {kind} payload", code="not_record"
+        )
+    found = header.get("format")
+    if found != fmt:
+        raise StorageError(
+            f"{name!r} has {kind} format {found!r}, expected {fmt!r} "
+            f"(old formats are not migrated)",
+            code="format_mismatch",
+        )
+    digest = payload_digest(payload)
+    if digest != header.get("digest"):
+        raise StorageError(
+            f"{name!r} is corrupt: payload digest mismatch "
+            f"(expected {header.get('digest')}, got {digest})",
+            code="digest_mismatch",
+        )
+    return header, payload
+
+
+def pack_pickle_record(
+    fmt: str,
+    obj: object,
+    extra_header: Optional[Dict[str, object]] = None,
+) -> bytes:
+    """Pickles ``obj`` into one in-memory record."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return pack_record(fmt, payload, extra_header=extra_header)
+
+
+def unpack_pickle_record(
+    data: bytes,
+    fmt: str,
+    expected_type: Optional[Type] = None,
+    kind: str = "record",
+    long_kind: Optional[str] = None,
+    name: str = "<wire>",
+) -> Tuple[Dict[str, object], object]:
+    """Verifies and unpickles one in-memory record."""
+    header, payload = unpack_record(
+        data, fmt, kind=kind, long_kind=long_kind, name=name
+    )
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise StorageError(
+            f"cannot unpickle {kind} {name!r}: {exc}", code="unpicklable"
+        )
+    if expected_type is not None and not isinstance(obj, expected_type):
+        raise StorageError(
+            f"{name!r} does not contain a {expected_type.__name__}",
+            code="wrong_type",
+        )
+    return header, obj
+
+
 def write_pickle_record(
     path: str,
     fmt: str,

@@ -41,7 +41,6 @@ worker) or hang (sleep past its deadline).
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -57,6 +56,7 @@ from ..obs import prof
 from ..obs.events import Event, PoolRebuild, WorkerRetry
 from ..schedule.layout import Layout
 from ..schedule.simulator import DeltaMove, SimResult
+from . import retry
 from .cache import SimCache
 from .evaluator import (
     EvaluationError,
@@ -156,12 +156,11 @@ class SupervisionStats:
         }
 
 
-def _jitter(seq: int, round_index: int) -> float:
-    """Deterministic jitter fraction in [0, 1) for backoff sleeps, keyed
-    by the dispatch sequence and failure round so concurrent searches
-    do not thunder in lockstep yet replays stay reproducible."""
-    digest = hashlib.sha256(f"{seq}:{round_index}".encode()).digest()
-    return int.from_bytes(digest[:4], "big") / 2**32
+#: Deterministic jitter fraction in [0, 1) for backoff sleeps, keyed by
+#: the dispatch sequence and failure round so concurrent searches do not
+#: thunder in lockstep yet replays stay reproducible. Shared with the
+#: serve client and the dist lease layer via :mod:`repro.search.retry`.
+_jitter = retry.jitter
 
 
 def _chaos_simulate(
@@ -290,11 +289,16 @@ class SupervisedEvaluator(ParallelEvaluator):
             self.stats.degraded = True
             return
         round_index = self._consecutive_pool_failures
-        backoff = min(
-            self.policy.backoff_cap,
-            self.policy.backoff_base * 2 ** (round_index - 1),
+        time.sleep(
+            retry.backoff_delay(
+                self.policy.backoff_base,
+                self.policy.backoff_cap,
+                round_index,
+                self._dispatch_seq,
+                low=1.0,
+                high=2.0,
+            )
         )
-        time.sleep(backoff * (1.0 + _jitter(self._dispatch_seq, round_index)))
 
     # -- chaos ---------------------------------------------------------------
 

@@ -41,7 +41,6 @@ SimCache or coalescing). A :class:`ServeClient` constructed with a
 
 from __future__ import annotations
 
-import hashlib
 import os
 import socket
 import time
@@ -49,6 +48,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..lang.errors import BambooError
+from ..search.retry import backoff_delay
+from ..search.retry import jitter as _jitter
 from .protocol import (
     HEAVY_OPS,
     MAX_LINE_BYTES,
@@ -122,17 +123,13 @@ class ClientRetryPolicy:
 
     def backoff(self, op: str, failure: int) -> float:
         """The jittered sleep before retrying ``op`` after its
-        ``failure``-th consecutive failure (1-based)."""
-        base = min(self.backoff_cap, self.backoff_base * 2 ** (failure - 1))
-        return base * (0.5 + 0.5 * _jitter(op, failure))
-
-
-def _jitter(key: str, round_index: int) -> float:
-    """Deterministic jitter fraction in [0, 1), keyed like
-    :func:`repro.search.supervise._jitter` so retry schedules are
-    reproducible in tests yet distinct across ops and rounds."""
-    digest = hashlib.sha256(f"{key}:{round_index}".encode()).digest()
-    return int.from_bytes(digest[:4], "big") / 2**32
+        ``failure``-th consecutive failure (1-based): the shared
+        :func:`repro.search.retry.backoff_delay` in the client shape
+        (spread into ``[0.5, 1.0)`` of the capped base)."""
+        return backoff_delay(
+            self.backoff_base, self.backoff_cap, failure, op,
+            low=0.5, high=1.0,
+        )
 
 
 class ServeClient:

@@ -25,6 +25,13 @@ offending file is preserved under ``<path>.corrupt`` for inspection, and
 the daemon starts with a fresh cache — losing a cache is a performance
 event, not a correctness event, because the SimCache is semantically
 transparent.
+
+The quarantine itself is bounded: the newest refused file sits at
+``<path>.corrupt``, older ones rotate to ``<path>.corrupt.1``,
+``.corrupt.2``, … up to ``max_quarantine`` total, and anything beyond
+that is deleted (counted as ``serve_quarantine_evictions`` in the serve
+metrics). Without the bound, a daemon restart-looping against a bad disk
+would mint one orphan file per restart, forever.
 """
 
 from __future__ import annotations
@@ -83,12 +90,18 @@ class SimCacheStore:
         path: Optional[str] = None,
         max_entries: Optional[int] = None,
         registry=None,
+        max_quarantine: int = 3,
     ):
         self.path = path
         #: LRU bound applied to every per-context cache (None = unbounded)
         self.max_entries = max_entries
         #: receives the ``sim_cache_*`` counters of every context cache
         self.registry = registry
+        #: refused cache files kept for inspection (newest first);
+        #: the rotation evicts anything older
+        self.max_quarantine = max(1, max_quarantine)
+        #: quarantined files deleted by the rotation bound, lifetime
+        self.quarantine_evictions = 0
         self._caches: Dict[str, SimCache] = {}
         self._lock = threading.RLock()
         self._dirty = False
@@ -148,11 +161,7 @@ class SimCacheStore:
         except StorageError as exc:
             report.refused = True
             report.error = str(exc)
-            report.quarantined_to = self.path + ".corrupt"
-            try:
-                os.replace(self.path, report.quarantined_to)
-            except OSError:  # pragma: no cover - racing deletion
-                report.quarantined_to = None
+            report.quarantined_to = self._quarantine()
             return report
         with self._lock:
             for context, state in payload.get("contexts", {}).items():
@@ -167,6 +176,36 @@ class SimCacheStore:
             report.contexts = len(self._caches)
             report.entries = sum(len(c) for c in self._caches.values())
         return report
+
+    def _quarantine_name(self, index: int) -> str:
+        suffix = ".corrupt" if index == 0 else f".corrupt.{index}"
+        return self.path + suffix
+
+    def _quarantine(self) -> Optional[str]:
+        """Moves the refused cache file into the bounded quarantine
+        rotation; returns where it landed (the newest slot)."""
+        oldest = self._quarantine_name(self.max_quarantine - 1)
+        if os.path.exists(oldest):
+            try:
+                os.remove(oldest)
+                self.quarantine_evictions += 1
+                if self.registry is not None:
+                    self.registry.counter("serve_quarantine_evictions").inc()
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        for index in range(self.max_quarantine - 1, 0, -1):
+            older = self._quarantine_name(index - 1)
+            if os.path.exists(older):
+                try:
+                    os.replace(older, self._quarantine_name(index))
+                except OSError:  # pragma: no cover - racing deletion
+                    pass
+        target = self._quarantine_name(0)
+        try:
+            os.replace(self.path, target)
+        except OSError:  # pragma: no cover - racing deletion
+            return None
+        return target
 
     def flush(self) -> Optional[Dict[str, object]]:
         """Atomically writes every context's snapshot; returns the record
@@ -213,6 +252,8 @@ class SimCacheStore:
                 "max_entries_per_context": self.max_entries,
                 "dirty": self._dirty,
                 "flushes": self.flushes,
+                "max_quarantine": self.max_quarantine,
+                "quarantine_evictions": self.quarantine_evictions,
                 "per_context": {
                     context: cache.cache_stats()
                     for context, cache in sorted(self._caches.items())

@@ -319,6 +319,25 @@ class TestCheckpointFile:
         with pytest.raises(CheckpointError, match="checkpoint-v0"):
             read_checkpoint(path)
 
+    def test_newer_version_refused_naming_both_versions(self, tmp_path):
+        # A structurally valid record from a future release: correct
+        # digest, correct framing, just a format this version doesn't
+        # speak. The refusal must be the typed cross-version error that
+        # names both versions — not a digest or unpickling failure.
+        from repro.search.storage import write_pickle_record
+
+        path = str(tmp_path / "future.ckpt")
+        write_pickle_record(
+            path, "repro.search/checkpoint-v999", {"from": "the future"}
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(path)
+        message = str(excinfo.value)
+        assert "repro.search/checkpoint-v999" in message
+        assert "repro.search/checkpoint-v2" in message
+        assert "digest" not in message
+        assert "pickle" not in message
+
     def test_missing_file_is_a_checkpoint_error(self, tmp_path):
         with pytest.raises(CheckpointError, match="cannot read"):
             read_checkpoint(str(tmp_path / "absent.ckpt"))

@@ -238,6 +238,42 @@ class TestSimCacheStore:
         assert store.flush() is not None
         assert SimCacheStore(path=path).load().loaded
 
+    def test_quarantine_rotates_newest_first(self, tmp_path):
+        path = str(tmp_path / "simcache.bin")
+
+        def refuse(tag):
+            with open(path, "wb") as handle:
+                handle.write(b"bad cache " + tag)
+            report = SimCacheStore(path=path).load()
+            assert report.refused
+            return report
+
+        refuse(b"first")
+        refuse(b"second")
+        # Newest refusal sits at .corrupt, the earlier one rotated back.
+        assert open(path + ".corrupt", "rb").read().endswith(b"second")
+        assert open(path + ".corrupt.1", "rb").read().endswith(b"first")
+
+    def test_quarantine_bound_evicts_oldest(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        path = str(tmp_path / "simcache.bin")
+        registry = MetricsRegistry()
+        store = SimCacheStore(path=path, registry=registry, max_quarantine=2)
+        for tag in (b"one", b"two", b"three"):
+            with open(path, "wb") as handle:
+                handle.write(b"bad cache " + tag)
+            assert store.load().refused
+        # Only the two newest survive; the oldest was deleted and counted.
+        assert open(path + ".corrupt", "rb").read().endswith(b"three")
+        assert open(path + ".corrupt.1", "rb").read().endswith(b"two")
+        assert not os.path.exists(path + ".corrupt.2")
+        assert store.quarantine_evictions == 1
+        assert registry.counter("serve_quarantine_evictions").value == 1
+        stats = store.stats()
+        assert stats["max_quarantine"] == 2
+        assert stats["quarantine_evictions"] == 1
+
     def test_truncated_file_refused(self, tmp_path):
         path = str(tmp_path / "simcache.bin")
         store = SimCacheStore(path=path)
